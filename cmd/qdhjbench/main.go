@@ -1,0 +1,103 @@
+// Command qdhjbench reproduces the paper's evaluation (Sec. VI): every
+// table and figure can be regenerated individually or all at once.
+//
+// Usage:
+//
+//	qdhjbench -exp all -minutes 5
+//	qdhjbench -exp fig7 -datasets x2,x3 -minutes 10 -seed 7
+//
+// Experiments: fig6, table2, fig7, fig8, fig9, fig10, fig11, ablations, all.
+// Durations default to 5 simulated minutes per dataset; the paper used
+// 23–30 minutes, which `-minutes 25` replays in a few minutes of real time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		expName  = flag.String("exp", "all", "experiment: fig6|table2|fig7|fig8|fig9|fig10|fig11|ablations|all")
+		minutes  = flag.Float64("minutes", 5, "simulated stream horizon per dataset (paper: 23-30)")
+		seed     = flag.Int64("seed", 42, "generator seed")
+		datasets = flag.String("datasets", "x2,x3,x4", "comma-separated dataset keys")
+	)
+	flag.Parse()
+
+	keys := strings.Split(*datasets, ",")
+	start := time.Now()
+	var dss []*exp.Dataset
+	for _, k := range keys {
+		k = strings.TrimSpace(k)
+		if k == "" {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "preparing %s (%.1f min, seed %d)...\n", k, *minutes, *seed)
+		dss = append(dss, exp.Prepare(k, *minutes, *seed))
+	}
+	fmt.Fprintf(os.Stderr, "datasets ready in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	w := os.Stdout
+	run := func(name string) {
+		switch name {
+		case "fig6":
+			exp.Fig6(w, dss)
+		case "table2":
+			exp.Table2(w, dss)
+		case "fig7":
+			exp.Fig7(w, dss)
+		case "fig8":
+			exp.Fig8(w, pick(dss, exp.KeyX2, exp.KeyX3))
+		case "fig9":
+			exp.Fig9(w, pick(dss, exp.KeyX2, exp.KeyX3))
+		case "fig10":
+			exp.Fig10(w, pick(dss, exp.KeyX2, exp.KeyX3))
+		case "fig11":
+			exp.Fig11(w, dss)
+		case "ablations":
+			exp.Ablations(w, dss)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Fprintln(w)
+	}
+	if *expName == "all" {
+		for _, n := range []string{"fig6", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "ablations"} {
+			run(n)
+		}
+	} else {
+		run(*expName)
+	}
+	fmt.Fprintf(os.Stderr, "total wall time %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// pick filters datasets to the given keys (Fig. 8–10 use x2 and x3, as the
+// paper does), falling back to whatever was prepared.
+func pick(dss []*exp.Dataset, keys ...string) []*exp.Dataset {
+	byKey := map[string]bool{}
+	for _, k := range keys {
+		byKey[k] = true
+	}
+	var out []*exp.Dataset
+	for _, ds := range dss {
+		switch {
+		case byKey[exp.KeyX2] && strings.Contains(ds.Name, "real"):
+			out = append(out, ds)
+		case byKey[exp.KeyX3] && strings.Contains(ds.Name, "x3"):
+			out = append(out, ds)
+		case byKey[exp.KeyX4] && strings.Contains(ds.Name, "x4"):
+			out = append(out, ds)
+		}
+	}
+	if len(out) == 0 {
+		return dss
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+// Soccer: the paper's motivating real-world scenario (Q×2 on the DEBS-2013
+// style player-position data). Two sensor streams — one per team — are
+// joined with a user-defined distance predicate to detect opposing players
+// within 5 meters of each other inside a 5-second window, while network
+// delays of up to ~26 seconds disorder both streams.
+//
+// The example contrasts three disorder handling policies on the same data:
+// no buffering, maximum buffering, and the paper's quality-driven buffering
+// with Γ = 0.95.
+package main
+
+import (
+	"fmt"
+
+	qdhj "repro"
+	"repro/internal/gen"
+	"repro/internal/stream"
+)
+
+func run(name string, opt qdhj.Options, ds *gen.Dataset) {
+	j := qdhj.NewJoin(ds.Cond, ds.Windows, opt)
+	for _, e := range ds.Arrivals.Clone() {
+		j.Push(e)
+	}
+	j.Close()
+	fmt.Printf("%-16s  results %-9d  avg buffer %8.0f ms\n", name, j.Results(), j.AvgK())
+}
+
+func main() {
+	// Three simulated minutes of play, ~190 readings/s across both teams.
+	ds := gen.Soccer(gen.SoccerConfig{Duration: 3 * stream.Minute, Seed: 7})
+	maxDelay, _ := ds.Arrivals.MaxDelay()
+	fmt.Printf("%d readings, max network delay %v\n\n", len(ds.Arrivals), maxDelay)
+
+	run("no buffering", qdhj.Options{Policy: qdhj.NoSlack}, ds)
+	run("max buffering", qdhj.Options{Policy: qdhj.MaxSlack}, ds)
+	run("quality-driven", qdhj.Options{
+		Policy: qdhj.QualityDriven,
+		Gamma:  0.95,
+		Period: qdhj.Minute,
+	}, ds)
+
+	fmt.Println("\nquality-driven buffering recovers most results at a small")
+	fmt.Println("fraction of the latency that maximum buffering costs.")
+}

@@ -1,0 +1,398 @@
+// Package adapt implements the Buffer-Size Manager of Fig. 2: at the end of
+// every adaptation interval L it chooses the common K-slack buffer size k*
+// for the next interval (the Same-K policy of Theorem 1 means one value
+// serves all streams).
+//
+// The model-based policy follows Sec. IV: it estimates the recall γ(L,K)
+// that buffer size K would produce (Eq. 3–5), optionally scaled by the
+// learned delay–productivity selectivity ratio (Eq. 6, the NonEqSel
+// strategy), derives the instant recall requirement Γ′ from the
+// user-specified Γ via the Result-Size Monitor (Eq. 7), and searches for the
+// minimum k* with γ(L,k*) ≥ Γ′ at granularity g (Alg. 3).
+//
+// The No-K-slack and Max-K-slack baselines of Sec. VI are provided as
+// alternative policies.
+package adapt
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/profiler"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+// Strategy selects how the selectivity under incomplete disorder handling is
+// modeled (Sec. IV-B).
+type Strategy int
+
+const (
+	// NonEqSel learns DPcorr from the join output and uses Eq. (6).
+	NonEqSel Strategy = iota
+	// EqSel assumes sel^on(K) = sel^on, i.e. a selectivity ratio of 1.
+	EqSel
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	if s == EqSel {
+		return "EqSel"
+	}
+	return "NonEqSel"
+}
+
+// Search selects the Alg. 3 algorithm used to find the minimum k* with
+// γ(L,k*) ≥ Γ′.
+type Search int
+
+const (
+	// LinearSearch is the paper's trial-and-error scan k* = 0, g, 2g, …
+	LinearSearch Search = iota
+	// BinarySearch probes O(log(MaxD^H/g)) candidates instead, exploiting
+	// the monotonicity of γ(L,K) in K. The paper leaves "other algorithms
+	// for searching for k*" as future work; this is the natural one. Under
+	// NonEqSel the learned selectivity ratio can make the target function
+	// locally non-monotone, in which case binary search still returns a
+	// feasible k* but not necessarily the minimal one.
+	BinarySearch
+)
+
+// String implements fmt.Stringer.
+func (s Search) String() string {
+	if s == BinarySearch {
+		return "binary"
+	}
+	return "linear"
+}
+
+// Config carries the user requirements and system parameters of the
+// framework (Table I).
+type Config struct {
+	Gamma float64     // Γ: required minimum recall γ(P)
+	P     stream.Time // result-quality measurement period
+	L     stream.Time // adaptation interval (L ≤ P)
+	B     stream.Time // basic window size b
+	G     stream.Time // K-search granularity g
+
+	Strategy Strategy
+	Search   Search
+
+	// NoCalibration disables the Γ′ derivation of Eq. (7) and uses the raw
+	// Γ as the instant requirement (ablation knob; the paper always
+	// calibrates).
+	NoCalibration bool
+}
+
+// Default system parameters from Sec. VI.
+const (
+	DefaultB = 10 * stream.Millisecond
+	DefaultG = 10 * stream.Millisecond
+)
+
+// Normalize fills unset parameters with the paper's defaults and clamps
+// inconsistent ones.
+func (c Config) Normalize() Config {
+	if c.P <= 0 {
+		c.P = stream.Minute
+	}
+	if c.L <= 0 {
+		c.L = stream.Second
+	}
+	if c.L > c.P {
+		c.L = c.P
+	}
+	if c.B <= 0 {
+		c.B = DefaultB
+	}
+	if c.G <= 0 {
+		c.G = DefaultG
+	}
+	if c.Gamma < 0 {
+		c.Gamma = 0
+	}
+	if c.Gamma > 1 {
+		c.Gamma = 1
+	}
+	return c
+}
+
+// Policy decides the K-slack buffer size applied during the next adaptation
+// interval. Decide is called once per interval with the interval's
+// productivity snapshot.
+type Policy interface {
+	Name() string
+	Decide(now stream.Time, snap *profiler.Snapshot) stream.Time
+}
+
+// NoK is the No-K-slack baseline: K_i = 0 for all streams, leaving only the
+// Synchronizer to handle disorder.
+type NoK struct{}
+
+// Name implements Policy.
+func (NoK) Name() string { return "No-K-slack" }
+
+// Decide implements Policy.
+func (NoK) Decide(stream.Time, *profiler.Snapshot) stream.Time { return 0 }
+
+// MaxK is the Max-K-slack baseline [12]: K equals the maximum delay among
+// all so-far-observed tuples from all streams.
+type MaxK struct {
+	Stats *stats.Manager
+}
+
+// Name implements Policy.
+func (MaxK) Name() string { return "Max-K-slack" }
+
+// Decide implements Policy.
+func (p MaxK) Decide(stream.Time, *profiler.Snapshot) stream.Time {
+	return p.Stats.MaxDelayAllTime()
+}
+
+// Static applies a fixed buffer size; useful for tests and ablations.
+type Static struct{ K stream.Time }
+
+// Name implements Policy.
+func (Static) Name() string { return "Static-K" }
+
+// Decide implements Policy.
+func (p Static) Decide(stream.Time, *profiler.Snapshot) stream.Time { return p.K }
+
+// Model is the quality-driven, model-based policy of Alg. 3.
+type Model struct {
+	cfg     Config
+	windows []stream.Time
+	stats   *stats.Manager
+	mon     *monitor.Monitor
+
+	// instrumentation for Fig. 11 and the ablation benches
+	steps      int64
+	iterations int64
+	adaptTime  time.Duration
+	lastGammaP float64
+	lastRecall float64
+}
+
+// NewModel creates the model-based policy. windows are the W_i of the join.
+func NewModel(cfg Config, windows []stream.Time, st *stats.Manager, mon *monitor.Monitor) *Model {
+	return &Model{cfg: cfg.Normalize(), windows: windows, stats: st, mon: mon}
+}
+
+// Name implements Policy.
+func (m *Model) Name() string { return "Model(" + m.cfg.Strategy.String() + ")" }
+
+// Decide implements Policy: Alg. 3. Per-stream cumulative delay
+// distributions are snapshotted once per decision so each candidate K
+// evaluates in O(m·ΣW_i/b) with O(1) CDF lookups.
+func (m *Model) Decide(now stream.Time, snap *profiler.Snapshot) stream.Time {
+	start := time.Now()
+	maxDH := m.stats.MaxDelayRecent()
+	gammaPrime := m.instantRequirement(snap)
+	m.lastGammaP = gammaPrime
+	ev := m.newEvaluator()
+
+	var k stream.Time
+	if m.cfg.Search == BinarySearch {
+		k = m.searchBinary(ev, snap, gammaPrime, maxDH)
+	} else {
+		k = m.searchLinear(ev, snap, gammaPrime, maxDH)
+	}
+	if k > maxDH {
+		k = maxDH
+	}
+	m.steps++
+	m.adaptTime += time.Since(start)
+	return k
+}
+
+// searchLinear is Alg. 3 as printed: scan k* = 0, g, 2g, … until the model
+// meets the instant requirement or the maximum observed delay is exceeded.
+func (m *Model) searchLinear(ev *evaluator, snap *profiler.Snapshot, gammaPrime float64, maxDH stream.Time) stream.Time {
+	var k stream.Time
+	for {
+		m.iterations++
+		r := ev.recall(k, snap)
+		m.lastRecall = r
+		if r >= gammaPrime || k > maxDH {
+			return k
+		}
+		k += m.cfg.G
+	}
+}
+
+// searchBinary finds the smallest multiple of g meeting the requirement
+// with O(log) model evaluations.
+func (m *Model) searchBinary(ev *evaluator, snap *profiler.Snapshot, gammaPrime float64, maxDH stream.Time) stream.Time {
+	m.iterations++
+	if r := ev.recall(0, snap); r >= gammaPrime {
+		m.lastRecall = r
+		return 0
+	}
+	m.iterations++
+	if r := ev.recall(maxDH, snap); r < gammaPrime {
+		m.lastRecall = r
+		return maxDH
+	}
+	lo, hi := stream.Time(0), (maxDH+m.cfg.G-1)/m.cfg.G // in units of g; recall(hi·g) ≥ Γ′
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		m.iterations++
+		r := ev.recall(mid*m.cfg.G, snap)
+		m.lastRecall = r
+		if r >= gammaPrime {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi * m.cfg.G
+}
+
+// evaluator caches, for one adaptation step, each stream's cumulative
+// coarse-delay distribution and Synchronizer buffer estimate, so the Alg. 3
+// search can probe many K candidates cheaply.
+type evaluator struct {
+	m     *Model
+	cum   [][]float64 // cum[i][d] = Pr[D_i ≤ d]; nil means "no delays seen"
+	ksync []stream.Time
+	den   float64 // Σ_i Π_{j≠i} W_j, constant across K
+}
+
+func (m *Model) newEvaluator() *evaluator {
+	n := len(m.windows)
+	ev := &evaluator{m: m, cum: make([][]float64, n), ksync: make([]stream.Time, n)}
+	for i := 0; i < n; i++ {
+		ev.cum[i] = m.stats.Hist(i).CumulativeProbs()
+		ev.ksync[i] = m.stats.KSync(i)
+	}
+	for i := 0; i < n; i++ {
+		p := 1.0
+		for j := 0; j < n; j++ {
+			if j != i {
+				p *= float64(m.windows[j])
+			}
+		}
+		ev.den += p
+	}
+	return ev
+}
+
+// cdf returns Pr[D_i ≤ d] in O(1).
+func (ev *evaluator) cdf(i, d int) float64 {
+	if d < 0 {
+		return 0
+	}
+	c := ev.cum[i]
+	if len(c) == 0 || d >= len(c) {
+		return 1
+	}
+	return c[d]
+}
+
+// recall evaluates γ(L,K) per Eq. (5).
+func (ev *evaluator) recall(k stream.Time, snap *profiler.Snapshot) float64 {
+	m := ev.m
+	n := len(m.windows)
+	effW := make([]float64, n)
+	fdk0 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		shift := int((k + ev.ksync[i]) / m.cfg.G)
+		fdk0[i] = ev.cdf(i, shift)
+		effW[i] = ev.effectiveWindow(i, shift)
+	}
+	var num float64
+	for i := 0; i < n; i++ {
+		pn := fdk0[i]
+		for j := 0; j < n; j++ {
+			if j != i {
+				pn *= effW[j]
+			}
+		}
+		num += pn
+	}
+	if ev.den == 0 {
+		return 1
+	}
+	gamma := num / ev.den
+	if m.cfg.Strategy == NonEqSel && snap != nil {
+		gamma *= snap.SelRatio(k)
+	}
+	if gamma > 1 {
+		gamma = 1
+	}
+	if math.IsNaN(gamma) || gamma < 0 {
+		gamma = 0
+	}
+	return gamma
+}
+
+// effectiveWindow evaluates Σ_l |w^l_j| / r_j (Eq. 3) with O(1) lookups.
+func (ev *evaluator) effectiveWindow(j, shift int) float64 {
+	m := ev.m
+	w := m.windows[j]
+	b := m.cfg.B
+	if b > w {
+		b = w
+	}
+	n := int((w + b - 1) / b)
+	var sum float64
+	for l := 1; l <= n; l++ {
+		width := b
+		if l == n {
+			width = w - stream.Time(n-1)*b
+		}
+		d := int(stream.Time(l-1) * b / m.cfg.G)
+		sum += float64(width) * ev.cdf(j, shift+d)
+	}
+	return sum
+}
+
+// instantRequirement derives Γ′ per Eq. (7) and applies it clamped to
+// [Γ, 1]: calibration tightens the requirement when the recent past fell
+// behind, but never relaxes it below the user's Γ. The paper prints the
+// final requirement as "max{Γ′, 1}", which is degenerate as written (always
+// 1 ⇒ Max-K-slack); we read it as max{Γ′, Γ}. Allowing relaxation below Γ
+// (min{Γ′,1}) makes the controller ride the Γ threshold from below and
+// destroys Φ(Γ) — see DESIGN.md §4. When calibration is disabled or no
+// statistics exist yet, the raw Γ is used.
+func (m *Model) instantRequirement(snap *profiler.Snapshot) float64 {
+	if m.cfg.NoCalibration || snap == nil {
+		return m.cfg.Gamma
+	}
+	trueL := snap.TrueResults()
+	if trueL <= 0 {
+		return m.cfg.Gamma
+	}
+	prodPL := float64(m.mon.Produced())
+	truePL := m.mon.TrueEstimate()
+	gp := (m.cfg.Gamma*(truePL+trueL) - prodPL) / trueL
+	if gp < m.cfg.Gamma {
+		return m.cfg.Gamma
+	}
+	if gp > 1 {
+		return 1
+	}
+	return gp
+}
+
+// EstimateRecall computes γ(L,K) per Eq. (5). It builds a fresh evaluator
+// per call; loops over many K values should use Decide, which caches one.
+func (m *Model) EstimateRecall(k stream.Time, snap *profiler.Snapshot) float64 {
+	return m.newEvaluator().recall(k, snap)
+}
+
+// InstantRequirement exposes Γ′ computation for tests.
+func (m *Model) InstantRequirement(snap *profiler.Snapshot) float64 {
+	return m.instantRequirement(snap)
+}
+
+// AdaptStats reports instrumentation: number of adaptation steps, total
+// model iterations across all searches, and cumulative wall-clock time spent
+// inside Decide.
+func (m *Model) AdaptStats() (steps, iterations int64, total time.Duration) {
+	return m.steps, m.iterations, m.adaptTime
+}
+
+// LastGammaPrime returns the most recently derived instant requirement.
+func (m *Model) LastGammaPrime() float64 { return m.lastGammaP }

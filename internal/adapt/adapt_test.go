@@ -1,0 +1,254 @@
+package adapt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/monitor"
+	"repro/internal/profiler"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+// buildStats observes a synthetic delay pattern: frac of tuples delayed by
+// (approximately) d, the rest punctual, interleaved so the delays are
+// actually visible as disorder.
+func buildStats(m int, g stream.Time, frac float64, d stream.Time, n int) *stats.Manager {
+	st := stats.NewManager(m, g, stats.WithFixedHistory(n*2))
+	ts := stream.Time(1000 + d)
+	late := int(frac * 100)
+	for i := 0; i < n; i++ {
+		ts += 10
+		for s := 0; s < m; s++ {
+			// A punctual tuple advances iT; an extra late tuple then has
+			// delay exactly d.
+			st.Observe(&stream.Tuple{TS: ts, Src: s})
+			if i%100 < late {
+				st.Observe(&stream.Tuple{TS: ts - d, Src: s})
+			}
+		}
+	}
+	return st
+}
+
+func modelWith(st *stats.Manager, windows []stream.Time, cfg Config) (*Model, *monitor.Monitor) {
+	cfg = cfg.Normalize()
+	mon := monitor.New(cfg.P-cfg.L, int((cfg.P-cfg.L)/cfg.L))
+	return NewModel(cfg, windows, st, mon), mon
+}
+
+func TestConfigNormalize(t *testing.T) {
+	c := Config{}.Normalize()
+	if c.P != stream.Minute || c.L != stream.Second || c.B != DefaultB || c.G != DefaultG {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+	c = Config{L: 2 * stream.Minute, P: stream.Minute, Gamma: 2}.Normalize()
+	if c.L != c.P {
+		t.Fatal("L must clamp to P")
+	}
+	if c.Gamma != 1 {
+		t.Fatal("Gamma must clamp to 1")
+	}
+}
+
+// TestRecallMonotoneInK: more buffering can only raise estimated recall.
+func TestRecallMonotoneInK(t *testing.T) {
+	st := buildStats(2, 10, 0.3, 200, 2000)
+	m, _ := modelWith(st, []stream.Time{5000, 5000}, Config{Gamma: 0.95, Strategy: EqSel})
+	prev := -1.0
+	for k := stream.Time(0); k <= 300; k += 10 {
+		r := m.EstimateRecall(k, nil)
+		if r < prev-1e-9 {
+			t.Fatalf("recall decreased at K=%d: %v < %v", k, r, prev)
+		}
+		prev = r
+	}
+}
+
+// TestRecallOneWhenNoDisorder: punctual streams need no buffer.
+func TestRecallOneWhenNoDisorder(t *testing.T) {
+	st := buildStats(2, 10, 0, 0, 500)
+	m, _ := modelWith(st, []stream.Time{5000, 5000}, Config{Gamma: 0.99})
+	if r := m.EstimateRecall(0, nil); r < 0.999 {
+		t.Fatalf("recall at K=0 with no disorder = %v, want ≈1", r)
+	}
+}
+
+// TestRecallFullBufferReachesOne: K covering the max delay yields ≈1.
+func TestRecallFullBufferReachesOne(t *testing.T) {
+	st := buildStats(2, 10, 0.4, 150, 2000)
+	m, _ := modelWith(st, []stream.Time{5000, 5000}, Config{})
+	if r := m.EstimateRecall(150, nil); r < 0.999 {
+		t.Fatalf("recall at K=maxdelay = %v, want ≈1", r)
+	}
+}
+
+// TestDecideFindsMinimalK: the Alg. 3 search returns (approximately) the
+// smallest K meeting the requirement.
+func TestDecideFindsMinimalK(t *testing.T) {
+	st := buildStats(2, 10, 0.3, 200, 2000)
+	cfg := Config{Gamma: 0.9, Strategy: EqSel, NoCalibration: true, G: 10}
+	m, _ := modelWith(st, []stream.Time{5000, 5000}, cfg)
+	k := m.Decide(0, nil)
+	if r := m.EstimateRecall(k, nil); r < 0.9 {
+		t.Fatalf("decided K=%d gives recall %v < Γ", k, r)
+	}
+	if k >= 10 {
+		if r := m.EstimateRecall(k-10, nil); r >= 0.9 {
+			t.Fatalf("K=%d not minimal: K−g already gives %v", k, r)
+		}
+	}
+	// With 30%% of tuples delayed by 200, meeting Γ=0.9 must need K>0...
+	if k == 0 {
+		t.Fatal("expected a positive buffer size")
+	}
+	// …and never more than the max observed delay.
+	if k > 200 {
+		t.Fatalf("K=%d exceeds max delay", k)
+	}
+}
+
+// TestDecideGammaZero: a requirement of 0 should need no buffer.
+func TestDecideGammaZero(t *testing.T) {
+	st := buildStats(2, 10, 0.5, 100, 1000)
+	cfg := Config{Gamma: 0, NoCalibration: true}
+	m, _ := modelWith(st, []stream.Time{5000, 5000}, cfg)
+	if k := m.Decide(0, nil); k != 0 {
+		t.Fatalf("Γ=0 should decide K=0, got %d", k)
+	}
+}
+
+// TestDecideRespectsMaxDH: even Γ=1 cannot push K beyond the observed max
+// delay.
+func TestDecideRespectsMaxDH(t *testing.T) {
+	st := buildStats(2, 10, 0.5, 100, 1000)
+	cfg := Config{Gamma: 1, NoCalibration: true}
+	m, _ := modelWith(st, []stream.Time{5000, 5000}, cfg)
+	if k := m.Decide(0, nil); k > 100 {
+		t.Fatalf("K=%d beyond MaxDH=100", k)
+	}
+}
+
+// TestGammaPrimeCalibration verifies the Eq. (7) derivation with the
+// tighten-only clamp to [Γ, 1]: a surplus in the past P−L keeps the instant
+// requirement at Γ (never relaxed below the user requirement), a deficit
+// raises it toward 1.
+func TestGammaPrimeCalibration(t *testing.T) {
+	st := buildStats(2, 10, 0.3, 100, 500)
+	cfg := Config{Gamma: 0.9, P: 10 * stream.Second, L: stream.Second}
+	m, mon := modelWith(st, []stream.Time{5000, 5000}, cfg)
+
+	prof := profiler.New(10)
+	prof.RecordInOrder(0, 1000, 100) // N_true(L) = 100
+	snap := prof.Snapshot()
+
+	// Past perfect: produced == true over P−L.
+	for i := 0; i < 9; i++ {
+		mon.PushTrueEstimate(100)
+	}
+	mon.AddResults(5, 900)
+	mon.Advance(6)
+	gp := m.InstantRequirement(snap)
+	// Raw Eq. (7): Γ·(900+100) − 900 = 0 → Γ′ = 0; the tighten-only clamp
+	// floors the applied requirement at Γ.
+	if gp != 0.9 {
+		t.Fatalf("surplus history should clamp Γ′ at Γ, got %v", gp)
+	}
+
+	// Past deficit: produced 700 of 900 true (recall 0.78 < Γ).
+	m2, mon2 := modelWith(st, []stream.Time{5000, 5000}, cfg)
+	for i := 0; i < 9; i++ {
+		mon2.PushTrueEstimate(100)
+	}
+	mon2.AddResults(5, 700)
+	mon2.Advance(6)
+	gp2 := m2.InstantRequirement(snap)
+	// Γ′ = (0.9·1000 − 700)/100 = 2 → clamps to 1.
+	if gp2 != 1 {
+		t.Fatalf("deficit history should clamp Γ′ to 1, got %v", gp2)
+	}
+}
+
+func TestInstantRequirementFallbacks(t *testing.T) {
+	st := buildStats(2, 10, 0, 0, 100)
+	cfg := Config{Gamma: 0.7, NoCalibration: true}
+	m, _ := modelWith(st, []stream.Time{1000, 1000}, cfg)
+	if gp := m.InstantRequirement(nil); gp != 0.7 {
+		t.Fatalf("NoCalibration must return raw Γ, got %v", gp)
+	}
+	cfg2 := Config{Gamma: 0.7}
+	m2, _ := modelWith(st, []stream.Time{1000, 1000}, cfg2)
+	empty := profiler.New(10).Snapshot()
+	if gp := m2.InstantRequirement(empty); gp != 0.7 {
+		t.Fatalf("empty snapshot must fall back to Γ, got %v", gp)
+	}
+}
+
+// TestNonEqSelUsesSnapshot: the NonEqSel strategy must scale the estimate by
+// the learned selectivity ratio.
+func TestNonEqSelUsesSnapshot(t *testing.T) {
+	st := buildStats(2, 10, 0.3, 100, 1000)
+	prof := profiler.New(10)
+	// Enough samples to clear the profiler's minimum-sample guard.
+	for i := 0; i < 20; i++ {
+		prof.RecordInOrder(0, 10, 1)   // punctual: low productivity
+		prof.RecordInOrder(100, 10, 9) // late: high productivity
+	}
+	snap := prof.Snapshot()
+
+	mEq, _ := modelWith(st, []stream.Time{5000, 5000}, Config{Strategy: EqSel})
+	mNe, _ := modelWith(st, []stream.Time{5000, 5000}, Config{Strategy: NonEqSel})
+	rEq := mEq.EstimateRecall(0, snap)
+	rNe := mNe.EstimateRecall(0, snap)
+	if !(rNe < rEq) {
+		t.Fatalf("NonEqSel should discount recall when late tuples are productive: %v vs %v", rNe, rEq)
+	}
+}
+
+// TestBasicWindowConservatism: bigger b gives a more conservative (lower or
+// equal) recall estimate, per the note below Eq. (4).
+func TestBasicWindowConservatism(t *testing.T) {
+	st := buildStats(2, 10, 0.4, 300, 2000)
+	small, _ := modelWith(st, []stream.Time{5000, 5000}, Config{B: 10})
+	big, _ := modelWith(st, []stream.Time{5000, 5000}, Config{B: 5000})
+	for k := stream.Time(0); k <= 300; k += 50 {
+		rs := small.EstimateRecall(k, nil)
+		rb := big.EstimateRecall(k, nil)
+		if rb > rs+1e-9 {
+			t.Fatalf("B=W estimate %v exceeds B=10 estimate %v at K=%d", rb, rs, k)
+		}
+	}
+}
+
+func TestBaselinePolicies(t *testing.T) {
+	st := buildStats(1, 10, 0.2, 50, 200)
+	if (NoK{}).Decide(0, nil) != 0 {
+		t.Fatal("NoK must always return 0")
+	}
+	maxk := MaxK{Stats: st}
+	if got := maxk.Decide(0, nil); got != 50 {
+		t.Fatalf("MaxK = %d, want 50", got)
+	}
+	if (Static{K: 33}).Decide(0, nil) != 33 {
+		t.Fatal("Static must return its K")
+	}
+	names := []string{(NoK{}).Name(), maxk.Name(), (Static{}).Name()}
+	for _, n := range names {
+		if n == "" {
+			t.Fatal("policy names must be non-empty")
+		}
+	}
+}
+
+func TestAdaptStatsInstrumentation(t *testing.T) {
+	st := buildStats(2, 10, 0.3, 100, 500)
+	m, _ := modelWith(st, []stream.Time{5000, 5000}, Config{Gamma: 0.99, NoCalibration: true})
+	m.Decide(0, nil)
+	steps, iters, dur := m.AdaptStats()
+	if steps != 1 || iters < 1 || dur <= 0 {
+		t.Fatalf("instrumentation: steps=%d iters=%d dur=%v", steps, iters, dur)
+	}
+	if math.IsNaN(m.LastGammaPrime()) {
+		t.Fatal("LastGammaPrime must be set")
+	}
+}

@@ -1,0 +1,201 @@
+// Package adwin implements the ADWIN adaptive windowing algorithm of Bifet
+// and Gavaldà (SIAM SDM 2007), which the paper (Sec. IV-A, citing [25]) uses
+// to size the per-stream delay-statistics history R^stat: the window grows
+// while the delay distribution is stable and shrinks automatically when a
+// change in the disorder pattern is detected.
+//
+// The implementation keeps the stream summary in an exponential histogram of
+// buckets, so memory is O(M·log(W/M)) for window length W, and checks the
+// ADWIN cut condition at every bucket boundary.
+package adwin
+
+import "math"
+
+// maxBucketsPerRow bounds how many buckets of equal capacity are kept before
+// two are merged into the next row; the original paper uses M = 5.
+const maxBucketsPerRow = 5
+
+// bucket aggregates 2^row consecutive elements.
+type bucket struct {
+	sum   float64
+	sumSq float64
+	size  float64
+}
+
+// row is one capacity class of the exponential histogram. Newer buckets are
+// appended at the end.
+type row struct {
+	buckets []bucket
+}
+
+// Window is an ADWIN sliding window over a real-valued stream.
+// The zero value is not ready for use; call New.
+type Window struct {
+	delta     float64
+	rows      []row // rows[i] holds buckets of capacity 2^i
+	total     float64
+	sum       float64
+	sumSq     float64
+	minLength int
+	sinceCut  int
+	checkEach int
+}
+
+// New creates an ADWIN window with confidence parameter delta ∈ (0,1);
+// smaller delta makes shrinking more conservative. The canonical choice
+// delta = 0.002 is a good default for delay monitoring.
+func New(delta float64) *Window {
+	if delta <= 0 || delta >= 1 {
+		delta = 0.002
+	}
+	return &Window{
+		delta:     delta,
+		minLength: 16,
+		checkEach: 8,
+	}
+}
+
+// Add appends one element to the window head and returns true if the window
+// detected a distribution change and dropped its stale tail.
+func (w *Window) Add(x float64) bool {
+	w.insert(x)
+	w.sinceCut++
+	if w.sinceCut < w.checkEach || w.total < float64(w.minLength) {
+		return false
+	}
+	w.sinceCut = 0
+	return w.shrink()
+}
+
+// Len returns the current window length in elements.
+func (w *Window) Len() int { return int(w.total) }
+
+// Mean returns the mean of the elements currently in the window.
+func (w *Window) Mean() float64 {
+	if w.total == 0 {
+		return 0
+	}
+	return w.sum / w.total
+}
+
+// insert adds a capacity-1 bucket and compresses rows that overflow.
+func (w *Window) insert(x float64) {
+	if len(w.rows) == 0 {
+		w.rows = append(w.rows, row{})
+	}
+	w.rows[0].buckets = append(w.rows[0].buckets, bucket{sum: x, sumSq: x * x, size: 1})
+	w.total++
+	w.sum += x
+	w.sumSq += x * x
+	for i := 0; i < len(w.rows); i++ {
+		if len(w.rows[i].buckets) <= maxBucketsPerRow {
+			break
+		}
+		// Merge the two oldest buckets of this row into one bucket of the
+		// next row.
+		b0, b1 := w.rows[i].buckets[0], w.rows[i].buckets[1]
+		w.rows[i].buckets = w.rows[i].buckets[2:]
+		if i+1 == len(w.rows) {
+			w.rows = append(w.rows, row{})
+		}
+		w.rows[i+1].buckets = append(w.rows[i+1].buckets, bucket{
+			sum:   b0.sum + b1.sum,
+			sumSq: b0.sumSq + b1.sumSq,
+			size:  b0.size + b1.size,
+		})
+	}
+}
+
+// shrink evaluates the ADWIN cut condition at every bucket boundary, oldest
+// first, dropping tail buckets while any split shows a significant difference
+// in means. Returns true if anything was dropped.
+func (w *Window) shrink() bool {
+	dropped := false
+	for {
+		if !w.dropOnce() {
+			return dropped
+		}
+		dropped = true
+	}
+}
+
+// dropOnce scans the histogram once and drops the single oldest bucket if
+// some split point violates the cut condition.
+func (w *Window) dropOnce() bool {
+	if w.total < float64(w.minLength) {
+		return false
+	}
+	// Walk from the oldest bucket towards the newest, maintaining the tail
+	// aggregate (n0, s0); head aggregate is the complement.
+	n0, s0 := 0.0, 0.0
+	cut := false
+	// Oldest buckets live in the highest row, at the front of that row.
+	for i := len(w.rows) - 1; i >= 0 && !cut; i-- {
+		for _, b := range w.rows[i].buckets {
+			n0 += b.size
+			s0 += b.sum
+			n1 := w.total - n0
+			if n0 < 1 || n1 < 1 {
+				continue
+			}
+			if w.cutViolated(n0, s0, n1, w.sum-s0) {
+				cut = true
+				break
+			}
+		}
+	}
+	if !cut {
+		return false
+	}
+	w.dropOldestBucket()
+	return true
+}
+
+// cutViolated implements the variance-based (Bernstein) ADWIN significance
+// test, which — unlike the plain Hoeffding form — works for values of
+// arbitrary scale such as millisecond delays: with harmonic sample size m,
+// window variance v and confidence δ′ = δ / ln(n),
+//
+//	ε = sqrt((2/m)·v·ln(2/δ′)) + (2/(3m))·ln(2/δ′).
+func (w *Window) cutViolated(n0, s0, n1, s1 float64) bool {
+	mean0 := s0 / n0
+	mean1 := s1 / n1
+	m := 1 / (1/n0 + 1/n1)
+	v := w.variance()
+	dd := math.Log(2 * math.Log(math.Max(w.total, math.E)) / w.delta)
+	eps := math.Sqrt(2/m*v*dd) + 2/(3*m)*dd
+	return math.Abs(mean0-mean1) > eps
+}
+
+// variance returns the empirical variance of the whole window.
+func (w *Window) variance() float64 {
+	if w.total < 2 {
+		return 0
+	}
+	mean := w.sum / w.total
+	v := w.sumSq/w.total - mean*mean
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// dropOldestBucket removes the single oldest bucket from the histogram.
+func (w *Window) dropOldestBucket() {
+	for i := len(w.rows) - 1; i >= 0; i-- {
+		r := &w.rows[i]
+		if len(r.buckets) == 0 {
+			continue
+		}
+		b := r.buckets[0]
+		r.buckets = r.buckets[1:]
+		w.total -= b.size
+		w.sum -= b.sum
+		w.sumSq -= b.sumSq
+		// Trim empty high rows so future scans stay short.
+		for len(w.rows) > 1 && len(w.rows[len(w.rows)-1].buckets) == 0 {
+			w.rows = w.rows[:len(w.rows)-1]
+		}
+		return
+	}
+}

@@ -1,0 +1,106 @@
+package adwin
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGrowsOnStableStream(t *testing.T) {
+	w := New(0.002)
+	for i := 0; i < 5000; i++ {
+		w.Add(1.0)
+	}
+	if w.Len() != 5000 {
+		t.Fatalf("stable stream should never shrink, len = %d", w.Len())
+	}
+	if math.Abs(w.Mean()-1) > 1e-9 {
+		t.Fatalf("mean = %v", w.Mean())
+	}
+}
+
+func TestShrinksOnAbruptChange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := New(0.01)
+	for i := 0; i < 3000; i++ {
+		w.Add(rng.Float64() * 0.1)
+	}
+	before := w.Len()
+	for i := 0; i < 1000; i++ {
+		w.Add(10 + rng.Float64())
+	}
+	if w.Len() >= before+1000 {
+		t.Fatalf("window did not shrink after change: len = %d (pre-change %d)", w.Len(), before)
+	}
+	// The window should now mostly contain post-change data.
+	if w.Mean() < 5 {
+		t.Fatalf("mean %v still dominated by stale data", w.Mean())
+	}
+}
+
+func TestTracksMeanAfterDrift(t *testing.T) {
+	w := New(0.01)
+	for i := 0; i < 2000; i++ {
+		w.Add(0)
+	}
+	for i := 0; i < 2000; i++ {
+		w.Add(1)
+	}
+	if w.Mean() < 0.8 {
+		t.Fatalf("mean %v did not converge to post-change value", w.Mean())
+	}
+}
+
+func TestNoisyStationaryKeepsLongWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	w := New(0.002)
+	for i := 0; i < 10000; i++ {
+		w.Add(rng.NormFloat64())
+	}
+	if w.Len() < 2000 {
+		t.Fatalf("stationary noise should keep a long window, len = %d", w.Len())
+	}
+}
+
+func TestEmptyWindow(t *testing.T) {
+	w := New(0.002)
+	if w.Len() != 0 || w.Mean() != 0 {
+		t.Fatal("fresh window must be empty with mean 0")
+	}
+}
+
+func TestInvalidDeltaDefaults(t *testing.T) {
+	for _, d := range []float64{0, -1, 1, 2} {
+		w := New(d)
+		if w.delta != 0.002 {
+			t.Fatalf("delta %v should default to 0.002", d)
+		}
+	}
+}
+
+func TestMeanMatchesContents(t *testing.T) {
+	// The window's (sum,total) bookkeeping must stay exact through merges
+	// and drops.
+	rng := rand.New(rand.NewSource(3))
+	w := New(0.05)
+	var mirror []float64
+	for i := 0; i < 4000; i++ {
+		v := rng.Float64()
+		if i > 2000 {
+			v += 3 // drift to force drops
+		}
+		w.Add(v)
+		mirror = append(mirror, v)
+		if len(mirror) > w.Len() {
+			mirror = mirror[len(mirror)-w.Len():]
+		}
+	}
+	sum := 0.0
+	for _, v := range mirror {
+		sum += v
+	}
+	want := sum / float64(len(mirror))
+	if math.Abs(w.Mean()-want) > 1e-6 {
+		t.Fatalf("mean = %v, mirror mean = %v", w.Mean(), want)
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/adapt"
+	"repro/internal/join"
+	"repro/internal/stream"
+)
+
+func TestEmptyInputFinish(t *testing.T) {
+	p := New(baseCfg(ModelPolicy()))
+	p.Finish() // must not panic or deadlock
+	if p.Results() != 0 || p.Adaptations() != 0 {
+		t.Fatal("empty run must be inert")
+	}
+}
+
+func TestSingleTuple(t *testing.T) {
+	p := New(baseCfg(ModelPolicy()))
+	p.Push(&stream.Tuple{TS: 100, Src: 0, Attrs: []float64{1}})
+	p.Finish()
+	if p.Results() != 0 {
+		t.Fatal("single tuple cannot join")
+	}
+	if p.Operator().Processed() != 1 {
+		t.Fatal("tuple lost")
+	}
+}
+
+func TestAllIdenticalTimestamps(t *testing.T) {
+	p := New(baseCfg(StaticPolicy(10)))
+	for i := 0; i < 100; i++ {
+		p.Push(&stream.Tuple{TS: 500, Seq: uint64(i), Src: i % 2, Attrs: []float64{1}})
+	}
+	p.Finish()
+	// 50 × 50 matching pairs, all within any window.
+	if p.Results() != 2500 {
+		t.Fatalf("results = %d, want 2500", p.Results())
+	}
+}
+
+func TestOneSilentStream(t *testing.T) {
+	// Stream 1 never produces; the Synchronizer must hold stream 0 until
+	// Finish, then flush. No results, no loss, no deadlock.
+	p := New(baseCfg(StaticPolicy(0)))
+	for i := 0; i < 500; i++ {
+		p.Push(&stream.Tuple{TS: stream.Time(i), Seq: uint64(i), Src: 0, Attrs: []float64{1}})
+	}
+	p.Finish()
+	if p.Operator().Processed() != 500 {
+		t.Fatalf("operator saw %d of 500", p.Operator().Processed())
+	}
+}
+
+func TestExtremeDelaysBeyondWindows(t *testing.T) {
+	// Tuples arriving later than their window extent are dropped from
+	// window insertion entirely (Alg. 2 line 9 guard) and must not corrupt
+	// state.
+	cfg := baseCfg(NoKPolicy())
+	p := New(cfg)
+	p.Push(&stream.Tuple{TS: 100_000, Seq: 0, Src: 0, Attrs: []float64{1}})
+	for i := 0; i < 50; i++ {
+		p.Push(&stream.Tuple{TS: stream.Time(i), Seq: uint64(1 + i), Src: 1, Attrs: []float64{1}})
+	}
+	p.Finish()
+	if p.Operator().WindowLen(1) != 0 {
+		t.Fatalf("ancient tuples must not linger, window holds %d", p.Operator().WindowLen(1))
+	}
+}
+
+func TestGapLargerThanP(t *testing.T) {
+	// A timestamp gap far larger than P must fast-forward through many
+	// adaptation boundaries without stalling or misbehaving.
+	var events int
+	cfg := baseCfg(ModelPolicy())
+	cfg.OnAdapt = func(AdaptEvent) { events++ }
+	p := New(cfg)
+	p.Push(&stream.Tuple{TS: 0, Seq: 0, Src: 0, Attrs: []float64{1}})
+	p.Push(&stream.Tuple{TS: 60_000, Seq: 1, Src: 1, Attrs: []float64{1}})
+	p.Finish()
+	if events != 60 {
+		t.Fatalf("expected 60 catch-up adaptations, got %d", events)
+	}
+}
+
+func TestZeroWindowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero window")
+		}
+	}()
+	New(Config{
+		Windows: []stream.Time{0, 0},
+		Cond:    equi2(),
+		Adapt:   adapt.Config{},
+	})
+}
+
+func TestFourWayPipeline(t *testing.T) {
+	cond := join.Star(4, []int{0, 1, 2}, []int{0, 0, 0})
+	cfg := Config{
+		Windows: []stream.Time{300, 300, 300, 300},
+		Cond:    cond,
+		Adapt:   adapt.Config{Gamma: 0.9, P: 5000, L: 1000},
+		Policy:  ModelPolicy(),
+	}
+	p := New(cfg)
+	var seq uint64
+	for ts := stream.Time(100); ts < 20_000; ts += 10 {
+		p.Push(&stream.Tuple{TS: ts, Seq: seq, Src: 0, Attrs: []float64{1, 2, 3}})
+		seq++
+		p.Push(&stream.Tuple{TS: ts, Seq: seq, Src: 1, Attrs: []float64{1}})
+		seq++
+		p.Push(&stream.Tuple{TS: ts, Seq: seq, Src: 2, Attrs: []float64{2}})
+		seq++
+		p.Push(&stream.Tuple{TS: ts, Seq: seq, Src: 3, Attrs: []float64{3}})
+		seq++
+	}
+	p.Finish()
+	if p.Results() == 0 {
+		t.Fatal("4-way star produced nothing")
+	}
+}

@@ -1,0 +1,273 @@
+// Package core wires the quality-driven disorder handling framework of
+// Fig. 2: one K-slack component per input stream, a Synchronizer merging
+// their outputs, the MSWJ operator, and the feedback loop formed by the
+// Statistics Manager, the Tuple-Productivity Profiler, the Result-Size
+// Monitor and the Buffer-Size Manager, which re-decides the common buffer
+// size K every L time units.
+//
+// The pipeline is push-based and driven entirely by logical time (tuple
+// timestamps), so runs are deterministic and replay far faster than real
+// time. A channel-based concurrent runner is provided in runner.go for
+// applications that want the pipeline off their ingest goroutine.
+package core
+
+import (
+	"repro/internal/adapt"
+	"repro/internal/join"
+	"repro/internal/kslack"
+	"repro/internal/monitor"
+	"repro/internal/profiler"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/syncer"
+)
+
+// PolicyFactory builds the buffer-size policy once the pipeline has created
+// the shared statistics components.
+type PolicyFactory func(st *stats.Manager, mon *monitor.Monitor, cfg adapt.Config, windows []stream.Time) adapt.Policy
+
+// ModelPolicy returns the paper's model-based quality-driven policy.
+func ModelPolicy() PolicyFactory {
+	return func(st *stats.Manager, mon *monitor.Monitor, cfg adapt.Config, windows []stream.Time) adapt.Policy {
+		return adapt.NewModel(cfg, windows, st, mon)
+	}
+}
+
+// NoKPolicy returns the No-K-slack baseline.
+func NoKPolicy() PolicyFactory {
+	return func(*stats.Manager, *monitor.Monitor, adapt.Config, []stream.Time) adapt.Policy {
+		return adapt.NoK{}
+	}
+}
+
+// MaxKPolicy returns the Max-K-slack baseline.
+func MaxKPolicy() PolicyFactory {
+	return func(st *stats.Manager, _ *monitor.Monitor, _ adapt.Config, _ []stream.Time) adapt.Policy {
+		return adapt.MaxK{Stats: st}
+	}
+}
+
+// StaticPolicy returns a fixed-K policy.
+func StaticPolicy(k stream.Time) PolicyFactory {
+	return func(*stats.Manager, *monitor.Monitor, adapt.Config, []stream.Time) adapt.Policy {
+		return adapt.Static{K: k}
+	}
+}
+
+// AdaptEvent describes one adaptation step; it is delivered to the OnAdapt
+// hook right after the new K has been decided and applied.
+type AdaptEvent struct {
+	Now        stream.Time // logical input time of the step (interval boundary)
+	OutT       stream.Time // join operator watermark onT: the output progress
+	PrevK      stream.Time // buffer size during the interval that just ended
+	NewK       stream.Time // buffer size for the next interval
+	GammaPrime float64     // instant requirement used (model policy only)
+}
+
+// Config assembles a pipeline.
+type Config struct {
+	// Windows holds the per-stream window sizes W_i; its length fixes m.
+	Windows []stream.Time
+	// Cond is the join condition; Cond.M must equal len(Windows).
+	Cond *join.Condition
+	// Adapt carries Γ, P, L, b, g and the selectivity strategy.
+	Adapt adapt.Config
+	// Policy selects the buffer-size policy; default is ModelPolicy.
+	Policy PolicyFactory
+	// StatsOpts customizes the Statistics Manager (fixed history ablation…).
+	StatsOpts []stats.Option
+	// Emit optionally receives every produced join result. Leaving it nil
+	// enables the join operator's counting-only fast path, which matters for
+	// high-selectivity equi workloads.
+	Emit join.EmitFunc
+	// EmitCounts optionally receives per-arrival result counts (always
+	// cheap; the Result-Size Monitor uses the same channel internally).
+	EmitCounts join.CountEmitFunc
+	// OnAdapt optionally observes every adaptation step.
+	OnAdapt func(AdaptEvent)
+	// InitialK is the buffer size before the first adaptation step.
+	InitialK stream.Time
+}
+
+// Pipeline is the assembled framework.
+type Pipeline struct {
+	cfg    Config
+	m      int
+	stats  *stats.Manager
+	prof   *profiler.Profiler
+	mon    *monitor.Monitor
+	ks     []*kslack.Buffer
+	sync   *syncer.Synchronizer
+	op     *join.Operator
+	policy adapt.Policy
+	model  *adapt.Model // non-nil when policy is the model policy
+
+	started   bool
+	nextAdapt stream.Time
+	curK      stream.Time
+
+	sumK    float64
+	nAdapt  int64
+	results int64
+	pushed  int64
+}
+
+// New assembles a pipeline from cfg.
+func New(cfg Config) *Pipeline {
+	if cfg.Cond == nil || len(cfg.Windows) != cfg.Cond.M {
+		panic("core: condition arity must match window count")
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = ModelPolicy()
+	}
+	cfg.Adapt = cfg.Adapt.Normalize()
+	m := len(cfg.Windows)
+
+	p := &Pipeline{cfg: cfg, m: m, curK: cfg.InitialK}
+	p.stats = stats.NewManager(m, cfg.Adapt.G, cfg.StatsOpts...)
+	p.prof = profiler.New(cfg.Adapt.G)
+	intervals := int((cfg.Adapt.P - cfg.Adapt.L) / cfg.Adapt.L)
+	p.mon = monitor.New(cfg.Adapt.P-cfg.Adapt.L, intervals)
+
+	opts := []join.Option{
+		join.WithProcessedHook(p.onProcessed),
+		join.WithCountEmit(p.onResultCount),
+	}
+	if cfg.Emit != nil {
+		opts = append(opts, join.WithEmit(cfg.Emit))
+	}
+	p.op = join.New(cfg.Cond, cfg.Windows, opts...)
+	p.sync = syncer.New(m, p.op.Process)
+	p.ks = make([]*kslack.Buffer, m)
+	for i := range p.ks {
+		p.ks[i] = kslack.New(cfg.InitialK, p.sync.Push)
+	}
+	p.policy = cfg.Policy(p.stats, p.mon, cfg.Adapt, cfg.Windows)
+	if mdl, ok := p.policy.(*adapt.Model); ok {
+		p.model = mdl
+	}
+	return p
+}
+
+// onResultCount feeds per-arrival result counts to the Result-Size Monitor
+// and the caller's optional count sink.
+func (p *Pipeline) onResultCount(ts stream.Time, n int64) {
+	p.results += n
+	p.mon.AddResults(ts, n)
+	if p.cfg.EmitCounts != nil {
+		p.cfg.EmitCounts(ts, n)
+	}
+}
+
+// onProcessed is the join operator's productivity hook (line 11, Alg. 2).
+func (p *Pipeline) onProcessed(e *stream.Tuple, nCross, nOn int64, inOrder bool) {
+	if inOrder {
+		p.prof.RecordInOrder(e.Delay, nCross, nOn)
+	} else {
+		p.prof.RecordOutOfOrder(e.Delay)
+	}
+}
+
+// Push feeds one raw arrival into the framework and runs any adaptation
+// steps whose interval boundaries the arrival crossed.
+func (p *Pipeline) Push(e *stream.Tuple) {
+	p.pushed++
+	p.stats.Observe(e)
+	p.ks[e.Src].Push(e)
+
+	now := p.stats.GlobalT()
+	if !p.started {
+		p.started = true
+		p.nextAdapt = now + p.cfg.Adapt.L
+		return
+	}
+	for now >= p.nextAdapt {
+		p.adaptStep(p.nextAdapt)
+		p.nextAdapt += p.cfg.Adapt.L
+	}
+}
+
+// adaptStep runs one Buffer-Size Manager decision at logical time at.
+// Result-size accounting (the monitor window and recall measurements) is
+// anchored at the join operator's watermark onT rather than the raw input
+// time: under a buffer of K time units the output progress lags the input by
+// K, and anchoring at the input would misread buffered-but-not-yet-produced
+// results as losses.
+func (p *Pipeline) adaptStep(at stream.Time) {
+	outT := p.op.HighWatermark()
+	p.mon.Advance(outT)
+	snap := p.prof.Snapshot()
+	// Reset before applying the new K: tuples released eagerly by a K
+	// shrink below are accounted to the next interval.
+	p.prof.Reset()
+	prevK := p.curK
+	newK := p.policy.Decide(at, snap)
+	for _, k := range p.ks {
+		k.SetK(newK)
+	}
+	p.curK = newK
+	p.sumK += float64(newK)
+	p.nAdapt++
+	p.mon.PushTrueEstimate(float64(snap.TrueResults()))
+	if p.cfg.OnAdapt != nil {
+		ev := AdaptEvent{Now: at, OutT: outT, PrevK: prevK, NewK: newK}
+		if p.model != nil {
+			ev.GammaPrime = p.model.LastGammaPrime()
+		}
+		p.cfg.OnAdapt(ev)
+	}
+}
+
+// Finish flushes the K-slack buffers and the Synchronizer at end of input so
+// every remaining tuple reaches the join operator.
+func (p *Pipeline) Finish() {
+	for _, k := range p.ks {
+		k.Flush()
+	}
+	for i := 0; i < p.m; i++ {
+		p.sync.Close(i)
+	}
+}
+
+// Results returns the number of produced join results.
+func (p *Pipeline) Results() int64 { return p.results }
+
+// Pushed returns the number of raw arrivals consumed.
+func (p *Pipeline) Pushed() int64 { return p.pushed }
+
+// CurrentK returns the buffer size currently applied.
+func (p *Pipeline) CurrentK() stream.Time { return p.curK }
+
+// AvgK returns the average buffer size over all adaptation intervals, the
+// paper's result-latency metric.
+func (p *Pipeline) AvgK() float64 {
+	if p.nAdapt == 0 {
+		return float64(p.curK)
+	}
+	return p.sumK / float64(p.nAdapt)
+}
+
+// Adaptations returns the number of adaptation steps performed.
+func (p *Pipeline) Adaptations() int64 { return p.nAdapt }
+
+// Stats exposes the Statistics Manager (read-only use by callers).
+func (p *Pipeline) Stats() *stats.Manager { return p.stats }
+
+// Model returns the model policy when in use, else nil. It exposes the
+// Fig. 11 adaptation-time instrumentation.
+func (p *Pipeline) Model() *adapt.Model { return p.model }
+
+// Operator exposes the join operator for inspection in tests.
+func (p *Pipeline) Operator() *join.Operator { return p.op }
+
+// SetEmit installs a result callback after construction (used by channel
+// runners that wire their sink late).
+func (p *Pipeline) SetEmit(f join.EmitFunc) { p.op.SetEmit(f) }
+
+// Run pushes an entire arrival-ordered batch and finishes the pipeline.
+func (p *Pipeline) Run(b stream.Batch) {
+	for _, e := range b {
+		p.Push(e)
+	}
+	p.Finish()
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/stream"
+)
+
+// Runner drives a Pipeline from an input channel on a dedicated goroutine,
+// decoupling ingest (network readers, file parsers) from join processing.
+// The pipeline itself stays single-threaded — its operators share mutable
+// window state by design, mirroring the paper's per-operator threading where
+// only the Buffer-Size Manager overlaps with join processing — so Runner
+// provides pipelining between producer and processor rather than intra-
+// operator parallelism (internal/dist provides the latter).
+type Runner struct {
+	p    *Pipeline
+	in   chan *stream.Tuple
+	done chan struct{}
+	once sync.Once
+
+	// onResult, if set, receives materialized results from the pipeline
+	// goroutine.
+	onResult func(stream.Result)
+}
+
+// RunnerOption customizes a Runner.
+type RunnerOption func(*Runner)
+
+// WithRunnerResults registers a result callback invoked on the runner
+// goroutine.
+func WithRunnerResults(f func(stream.Result)) RunnerOption {
+	return func(r *Runner) { r.onResult = f }
+}
+
+// NewRunner wraps a pipeline built from cfg. The returned runner owns the
+// pipeline; do not Push to it directly.
+func NewRunner(cfg Config, buffer int, opts ...RunnerOption) *Runner {
+	if buffer <= 0 {
+		buffer = 1024
+	}
+	r := &Runner{
+		in:   make(chan *stream.Tuple, buffer),
+		done: make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	if r.onResult != nil {
+		prev := cfg.Emit
+		cfg.Emit = func(res stream.Result) {
+			if prev != nil {
+				prev(res)
+			}
+			r.onResult(res)
+		}
+	}
+	r.p = New(cfg)
+	go func() {
+		defer close(r.done)
+		for t := range r.in {
+			r.p.Push(t)
+		}
+		r.p.Finish()
+	}()
+	return r
+}
+
+// Push enqueues one arrival; it blocks when the runner is saturated
+// (backpressure). Safe for a single producer goroutine.
+func (r *Runner) Push(t *stream.Tuple) { r.in <- t }
+
+// Close signals end of input. Idempotent.
+func (r *Runner) Close() {
+	r.once.Do(func() { close(r.in) })
+}
+
+// Wait blocks until the pipeline has drained after Close.
+func (r *Runner) Wait() { <-r.done }
+
+// Pipeline returns the underlying pipeline for inspection after Wait; using
+// it concurrently with an active runner races with the runner goroutine.
+func (r *Runner) Pipeline() *Pipeline { return r.p }

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func TestRunnerMatchesSynchronous(t *testing.T) {
+	in := mkWorkload(2000, 100, 31)
+
+	sync := New(baseCfg(StaticPolicy(50)))
+	sync.Run(in.Clone())
+
+	var results int64
+	r := NewRunner(baseCfg(StaticPolicy(50)), 64,
+		WithRunnerResults(func(stream.Result) { results++ }))
+	for _, e := range in.Clone() {
+		r.Push(e)
+	}
+	r.Close()
+	r.Wait()
+
+	if r.Pipeline().Results() != sync.Results() {
+		t.Fatalf("runner %d vs synchronous %d results", r.Pipeline().Results(), sync.Results())
+	}
+	if results != sync.Results() {
+		t.Fatalf("result callback saw %d, want %d", results, sync.Results())
+	}
+}
+
+func TestRunnerCloseIdempotent(t *testing.T) {
+	r := NewRunner(baseCfg(NoKPolicy()), 8)
+	r.Close()
+	r.Close() // must not panic
+	r.Wait()
+}
+
+func TestRunnerBackpressure(t *testing.T) {
+	// A tiny buffer forces the producer to block on the consumer; the run
+	// must still complete and conserve tuples.
+	r := NewRunner(baseCfg(StaticPolicy(10)), 1)
+	in := mkWorkload(500, 50, 32)
+	for _, e := range in {
+		r.Push(e)
+	}
+	r.Close()
+	r.Wait()
+	if r.Pipeline().Pushed() != int64(len(in)) {
+		t.Fatalf("pushed %d of %d", r.Pipeline().Pushed(), len(in))
+	}
+}

@@ -1,0 +1,181 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func TestSynthetic3Shape(t *testing.T) {
+	ds := Synthetic3(SynthConfig{Duration: 30 * stream.Second, Seed: 1})
+	if ds.M != 3 || len(ds.Windows) != 3 {
+		t.Fatalf("m = %d", ds.M)
+	}
+	// 100 tuples/s per stream over 30 s → 3000 per stream, 9000 total.
+	if len(ds.Arrivals) != 9000 {
+		t.Fatalf("arrivals = %d, want 9000", len(ds.Arrivals))
+	}
+	perStream := map[int]int{}
+	for _, e := range ds.Arrivals {
+		perStream[e.Src]++
+		if e.TS < 0 {
+			t.Fatal("negative timestamp")
+		}
+		if len(e.Attrs) != 1 {
+			t.Fatalf("x3 tuples carry one attribute, got %d", len(e.Attrs))
+		}
+		if a := e.Attr(0); a < 1 || a > 100 {
+			t.Fatalf("attribute %v outside [1,100]", a)
+		}
+	}
+	for s := 0; s < 3; s++ {
+		if perStream[s] != 3000 {
+			t.Fatalf("stream %d has %d tuples", s, perStream[s])
+		}
+	}
+	if !ds.Arrivals.Disordered() {
+		t.Fatal("synthetic stream must contain disorder")
+	}
+	maxD, _ := ds.Arrivals.MaxDelay()
+	if maxD > 20*stream.Second {
+		t.Fatalf("delay %v exceeds the 20 s domain", maxD)
+	}
+	if maxD < stream.Second {
+		t.Fatalf("max delay %v suspiciously small for zipf tail", maxD)
+	}
+}
+
+func TestSynthetic3SkewOrdering(t *testing.T) {
+	// Stream 0 (skew 2.0) must be more disordered than streams 1,2 (skew 3).
+	ds := Synthetic3(SynthConfig{Duration: 60 * stream.Second, Seed: 2})
+	late := map[int]int{}
+	localT := map[int]stream.Time{}
+	for _, e := range ds.Arrivals {
+		if hi, ok := localT[e.Src]; ok && e.TS < hi {
+			late[e.Src]++
+		}
+		if e.TS > localT[e.Src] {
+			localT[e.Src] = e.TS
+		}
+	}
+	if late[0] <= late[1] || late[0] <= late[2] {
+		t.Fatalf("stream 0 (skew 2) should be most disordered: %v", late)
+	}
+}
+
+func TestSynthetic4Shape(t *testing.T) {
+	ds := Synthetic4(SynthConfig{Duration: 30 * stream.Second, Seed: 3})
+	if ds.M != 4 {
+		t.Fatalf("m = %d", ds.M)
+	}
+	if len(ds.Arrivals) != 12000 {
+		t.Fatalf("arrivals = %d", len(ds.Arrivals))
+	}
+	for _, e := range ds.Arrivals {
+		want := 1
+		if e.Src == 0 {
+			want = 3
+		}
+		if len(e.Attrs) != want {
+			t.Fatalf("stream %d tuple has %d attrs, want %d", e.Src, len(e.Attrs), want)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Synthetic3(SynthConfig{Duration: 10 * stream.Second, Seed: 7})
+	b := Synthetic3(SynthConfig{Duration: 10 * stream.Second, Seed: 7})
+	if len(a.Arrivals) != len(b.Arrivals) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a.Arrivals {
+		x, y := a.Arrivals[i], b.Arrivals[i]
+		if x.TS != y.TS || x.Src != y.Src || x.Attr(0) != y.Attr(0) {
+			t.Fatalf("tuple %d differs across identical seeds", i)
+		}
+	}
+	c := Synthetic3(SynthConfig{Duration: 10 * stream.Second, Seed: 8})
+	same := true
+	for i := range a.Arrivals {
+		if a.Arrivals[i].TS != c.Arrivals[i].TS {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should produce different streams")
+	}
+}
+
+func TestSoccerShape(t *testing.T) {
+	ds := Soccer(SoccerConfig{Duration: 30 * stream.Second, Seed: 4})
+	if ds.M != 2 {
+		t.Fatalf("m = %d", ds.M)
+	}
+	if len(ds.Arrivals) == 0 {
+		t.Fatal("no arrivals")
+	}
+	// Arrival order must follow Seq strictly.
+	for i := 1; i < len(ds.Arrivals); i++ {
+		if ds.Arrivals[i].Seq <= ds.Arrivals[i-1].Seq {
+			t.Fatal("Seq must strictly increase in arrival order")
+		}
+	}
+	if !ds.Arrivals.Disordered() {
+		t.Fatal("soccer streams must contain disorder")
+	}
+	maxD, per := ds.Arrivals.MaxDelay()
+	if maxD > 26*stream.Second {
+		t.Fatalf("delay %v exceeds the configured bound", maxD)
+	}
+	_ = per
+	// Positions stay on the pitch.
+	for _, e := range ds.Arrivals {
+		x, y := e.Attr(1), e.Attr(2)
+		if x < 0 || x > 105 || y < 0 || y > 68 {
+			t.Fatalf("player off-pitch: (%v, %v)", x, y)
+		}
+	}
+}
+
+func TestSoccerConditionMatchesDistance(t *testing.T) {
+	ds := Soccer(SoccerConfig{Duration: 5 * stream.Second, Seed: 5})
+	a := &stream.Tuple{Src: 0, Attrs: []float64{1, 10, 10}}
+	b := &stream.Tuple{Src: 1, Attrs: []float64{9, 13, 14}} // dist 5 → not < 5
+	c := &stream.Tuple{Src: 1, Attrs: []float64{9, 12, 13}} // dist ≈3.6 → match
+	if ds.Cond.Matches([]*stream.Tuple{a, b}) {
+		t.Fatal("dist exactly 5 must not match (strict <)")
+	}
+	if !ds.Cond.Matches([]*stream.Tuple{a, c}) {
+		t.Fatal("dist 3.6 must match")
+	}
+}
+
+func TestValueSkewChanges(t *testing.T) {
+	// Over a long horizon the attribute distribution must shift: compare
+	// first and last quartile frequency of the most common value.
+	ds := Synthetic3(SynthConfig{Duration: 4 * stream.Minute, Seed: 6})
+	n := len(ds.Arrivals)
+	countTop := func(part []*stream.Tuple) map[float64]int {
+		m := map[float64]int{}
+		for _, e := range part {
+			if e.Src == 0 {
+				m[e.Attr(0)]++
+			}
+		}
+		return m
+	}
+	first := countTop(ds.Arrivals[:n/4])
+	last := countTop(ds.Arrivals[3*n/4:])
+	// Frequencies of value 1 should differ materially between periods with
+	// different skews (probability ranges from 1/100 to ≈0.96).
+	f1 := float64(first[1]) / float64(len(ds.Arrivals)/4)
+	l1 := float64(last[1]) / float64(len(ds.Arrivals)/4)
+	diff := f1 - l1
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff < 0.02 {
+		t.Fatalf("value skew does not appear to change over time: %v vs %v", f1, l1)
+	}
+}

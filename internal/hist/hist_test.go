@@ -1,0 +1,180 @@
+package hist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stream"
+)
+
+func TestBucketMapping(t *testing.T) {
+	h := New(10)
+	cases := []struct {
+		delay stream.Time
+		want  int
+	}{
+		{0, 0}, {1, 1}, {10, 1}, {11, 2}, {20, 2}, {21, 3}, {-5, 0},
+	}
+	for _, c := range cases {
+		if got := h.Bucket(c.delay); got != c.want {
+			t.Fatalf("Bucket(%d) = %d, want %d", c.delay, got, c.want)
+		}
+	}
+}
+
+func TestEmptyHistogramPrior(t *testing.T) {
+	h := New(10)
+	if h.P(0) != 1 || h.P(1) != 0 {
+		t.Fatal("empty histogram must behave as all-delays-zero")
+	}
+	if h.CDF(5) != 1 {
+		t.Fatal("empty CDF must be 1")
+	}
+	if h.MaxDelay() != 0 {
+		t.Fatal("empty MaxDelay must be 0")
+	}
+}
+
+func TestAddRemoveRoundTrip(t *testing.T) {
+	h := New(10)
+	h.Add(0)
+	h.Add(15)
+	h.Add(15)
+	h.Add(100)
+	if h.Total() != 4 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if math.Abs(h.P(0)-0.25) > 1e-12 || math.Abs(h.P(2)-0.5) > 1e-12 {
+		t.Fatalf("P(0)=%v P(2)=%v", h.P(0), h.P(2))
+	}
+	if h.MaxDelay() != 100 {
+		t.Fatalf("MaxDelay = %d", h.MaxDelay())
+	}
+	h.Remove(100)
+	if h.MaxDelay() != 20 {
+		t.Fatalf("MaxDelay after remove = %d", h.MaxDelay())
+	}
+	h.Remove(100) // double remove is a no-op
+	if h.Total() != 3 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	h := New(5)
+	for _, d := range []stream.Time{0, 3, 7, 12, 12, 40} {
+		h.Add(d)
+	}
+	prev := 0.0
+	for d := 0; d < 12; d++ {
+		c := h.CDF(d)
+		if c < prev-1e-12 {
+			t.Fatalf("CDF not monotone at %d", d)
+		}
+		prev = c
+	}
+	if h.CDF(100) != 1 {
+		t.Fatal("CDF must reach 1")
+	}
+	if h.CDF(-1) != 0 {
+		t.Fatal("CDF below 0 must be 0")
+	}
+}
+
+// TestShiftEq2 checks Eq. (2): with an absorbed budget of K+Ksync time
+// units, all delays up to the shift collapse into bucket 0 and the tail
+// shifts left.
+func TestShiftEq2(t *testing.T) {
+	h := New(10)
+	// Delays: 0 (x4), 10 (x3), 20 (x2), 30 (x1) → buckets 0..3.
+	for i := 0; i < 4; i++ {
+		h.Add(0)
+	}
+	for i := 0; i < 3; i++ {
+		h.Add(10)
+	}
+	for i := 0; i < 2; i++ {
+		h.Add(20)
+	}
+	h.Add(30)
+
+	s := h.Shift(10) // absorbs one bucket
+	if math.Abs(s.P(0)-0.7) > 1e-12 {
+		t.Fatalf("shifted P(0) = %v, want 0.7", s.P(0))
+	}
+	if math.Abs(s.P(1)-0.2) > 1e-12 {
+		t.Fatalf("shifted P(1) = %v, want 0.2", s.P(1))
+	}
+	if math.Abs(s.P(2)-0.1) > 1e-12 {
+		t.Fatalf("shifted P(2) = %v, want 0.1", s.P(2))
+	}
+	if s.P(3) != 0 {
+		t.Fatal("shifted tail must vanish")
+	}
+
+	// Absorbing everything puts all mass at zero.
+	s = h.Shift(30)
+	if s.P(0) != 1 {
+		t.Fatalf("full shift P(0) = %v", s.P(0))
+	}
+	// Negative absorption clamps to no shift.
+	s = h.Shift(-5)
+	if math.Abs(s.P(0)-0.4) > 1e-12 {
+		t.Fatalf("negative shift P(0) = %v", s.P(0))
+	}
+}
+
+func TestShiftedCDF(t *testing.T) {
+	h := New(10)
+	h.Add(0)
+	h.Add(10)
+	h.Add(20)
+	s := h.Shift(10)
+	if math.Abs(s.CDF(0)-2.0/3) > 1e-12 {
+		t.Fatalf("CDF(0) = %v", s.CDF(0))
+	}
+	if s.CDF(1) != 1 {
+		t.Fatalf("CDF(1) = %v", s.CDF(1))
+	}
+	if s.CDF(-1) != 0 {
+		t.Fatal("CDF(-1) must be 0")
+	}
+}
+
+// Property: shifted pdf sums to 1 and shifted P(0) is non-decreasing in the
+// absorbed budget (more buffering can only improve in-order probability).
+func TestShiftProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := New(10)
+		maxB := 0
+		for i := 0; i < 200; i++ {
+			d := stream.Time(rng.Intn(300))
+			h.Add(d)
+			if b := h.Bucket(d); b > maxB {
+				maxB = b
+			}
+		}
+		prevP0 := -1.0
+		for shift := stream.Time(0); shift <= 300; shift += 10 {
+			s := h.Shift(shift)
+			sum := 0.0
+			for d := 0; d <= maxB+1; d++ {
+				sum += s.P(d)
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+			if s.P(0) < prevP0-1e-12 {
+				return false
+			}
+			prevP0 = s.P(0)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

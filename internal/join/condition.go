@@ -1,0 +1,126 @@
+// Package join implements the m-way sliding window join operator of Alg. 2
+// together with a small conjunctive-condition planner that supports the
+// paper's requirement of "arbitrary join conditions": conjunctions of
+// equi-predicates (executed via per-window hash indexes) and arbitrary Go
+// predicates such as the soccer query's dist() < 5 (executed by filtering
+// enumerated combinations).
+package join
+
+import (
+	"fmt"
+
+	"repro/internal/stream"
+)
+
+// EquiPredicate asserts S_Left.Attr(LeftAttr) == S_Right.Attr(RightAttr).
+type EquiPredicate struct {
+	LeftStream, LeftAttr   int
+	RightStream, RightAttr int
+}
+
+// GenericPredicate is an arbitrary boolean predicate over a subset of the
+// input streams. Eval receives the current assignment indexed by stream; it
+// is invoked only once every stream listed in Streams is bound, and entries
+// for unbound streams are nil.
+type GenericPredicate struct {
+	Streams []int
+	Eval    func(assign []*stream.Tuple) bool
+}
+
+// Condition is a conjunction of equi- and generic predicates over M streams.
+// An empty condition is the cross join.
+type Condition struct {
+	M        int
+	Equis    []EquiPredicate
+	Generics []GenericPredicate
+}
+
+// Cross returns the always-true condition over m streams.
+func Cross(m int) *Condition {
+	if m < 2 {
+		panic(fmt.Sprintf("join: need at least 2 streams, got %d", m))
+	}
+	return &Condition{M: m}
+}
+
+// Equi adds the equi-predicate S_ls.attr(la) = S_rs.attr(ra) and returns the
+// condition for chaining. It panics on out-of-range stream indexes.
+func (c *Condition) Equi(ls, la, rs, ra int) *Condition {
+	if ls < 0 || ls >= c.M || rs < 0 || rs >= c.M || ls == rs {
+		panic(fmt.Sprintf("join: invalid equi-predicate streams (%d,%d) for m=%d", ls, rs, c.M))
+	}
+	c.Equis = append(c.Equis, EquiPredicate{ls, la, rs, ra})
+	return c
+}
+
+// Where adds a generic predicate over the listed streams and returns the
+// condition for chaining.
+func (c *Condition) Where(streams []int, eval func(assign []*stream.Tuple) bool) *Condition {
+	for _, s := range streams {
+		if s < 0 || s >= c.M {
+			panic(fmt.Sprintf("join: predicate references stream %d outside [0,%d)", s, c.M))
+		}
+	}
+	c.Generics = append(c.Generics, GenericPredicate{Streams: streams, Eval: eval})
+	return c
+}
+
+// EquiChain builds the condition S_0.attr = S_1.attr = … = S_{m−1}.attr used
+// by the paper's Q×3 query (all streams share one join attribute).
+func EquiChain(m, attr int) *Condition {
+	c := Cross(m)
+	for i := 0; i+1 < m; i++ {
+		c.Equi(i, attr, i+1, attr)
+	}
+	return c
+}
+
+// Star builds a star-shaped condition centered on stream 0, as in the
+// paper's Q×4 query: S_0.attr(centerAttrs[i]) = S_{i+1}.attr(spokeAttrs[i]).
+func Star(m int, centerAttrs, spokeAttrs []int) *Condition {
+	if len(centerAttrs) != m-1 || len(spokeAttrs) != m-1 {
+		panic("join: Star needs exactly m-1 center and spoke attributes")
+	}
+	c := Cross(m)
+	for i := 0; i < m-1; i++ {
+		c.Equi(0, centerAttrs[i], i+1, spokeAttrs[i])
+	}
+	return c
+}
+
+// IndexedAttrs returns, per stream, the set of attribute positions that
+// appear in equi-predicates and therefore need hash indexes on the window.
+func (c *Condition) IndexedAttrs() [][]int {
+	sets := make([]map[int]bool, c.M)
+	for i := range sets {
+		sets[i] = map[int]bool{}
+	}
+	for _, p := range c.Equis {
+		sets[p.LeftStream][p.LeftAttr] = true
+		sets[p.RightStream][p.RightAttr] = true
+	}
+	out := make([][]int, c.M)
+	for i, s := range sets {
+		for a := range s {
+			out[i] = append(out[i], a)
+		}
+	}
+	return out
+}
+
+// Matches reports whether a complete assignment (one tuple per stream)
+// satisfies the condition. It is the reference semantics used by the oracle
+// and by tests; the operator's planned execution must agree with it.
+func (c *Condition) Matches(assign []*stream.Tuple) bool {
+	for _, p := range c.Equis {
+		if assign[p.LeftStream].Attr(p.LeftAttr) != assign[p.RightStream].Attr(p.RightAttr) {
+			return false
+		}
+	}
+	for _, g := range c.Generics {
+		if !g.Eval(assign) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,256 @@
+package join
+
+import (
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+// ProcessedFunc is the Tuple-Productivity Profiler hook invoked after every
+// tuple is processed by the operator (line 11 of Alg. 2). For in-order tuples
+// nCross is the cross-join result size n×(e) the tuple would derive given the
+// current window contents, and nOn is the number n^on(e) of results actually
+// derived; for out-of-order tuples no probing happened and both counts are 0.
+type ProcessedFunc func(e *stream.Tuple, nCross, nOn int64, inOrder bool)
+
+// EmitFunc receives each produced join result in production order.
+type EmitFunc func(stream.Result)
+
+// CountEmitFunc receives, per in-order arrival that derived results, the
+// result timestamp and the number of results produced. It lets downstream
+// accounting (recall measurement, the Result-Size Monitor) track result
+// sizes without materializing the — potentially enormous — result tuples,
+// keeping the operator's counting fast path usable.
+type CountEmitFunc func(ts stream.Time, n int64)
+
+// Operator is the MSWJ operator of Alg. 2. It expects its input — the merged
+// output of the Synchronizer — to be mostly timestamp-ordered; residual
+// out-of-order tuples are detected with onT and handled per lines 9–10.
+type Operator struct {
+	cond    *Condition
+	plans   []plan
+	windows []*window.Window
+	onT     stream.Time
+
+	emit        EmitFunc
+	countEmit   CountEmitFunc
+	onProcessed ProcessedFunc
+
+	results     int64
+	outOfOrder  int64
+	processed   int64
+	assignBuf   []*stream.Tuple
+	countsBuf   []int64
+	onlyCounted bool
+}
+
+// Option customizes the operator.
+type Option func(*Operator)
+
+// WithEmit registers a callback receiving every produced result. Without it
+// the operator only counts results, enabling a faster counting-only probe
+// path for purely equi-join conditions.
+func WithEmit(f EmitFunc) Option { return func(o *Operator) { o.emit = f } }
+
+// WithCountEmit registers a per-arrival result-count callback. Unlike
+// WithEmit it keeps the counting-only probe fast path enabled.
+func WithCountEmit(f CountEmitFunc) Option { return func(o *Operator) { o.countEmit = f } }
+
+// WithProcessedHook registers the productivity profiler hook.
+func WithProcessedHook(f ProcessedFunc) Option { return func(o *Operator) { o.onProcessed = f } }
+
+// New creates an MSWJ operator with one sliding window per stream. sizes[i]
+// is the window extent W_i for stream i and must be positive.
+func New(cond *Condition, sizes []stream.Time, opts ...Option) *Operator {
+	if len(sizes) != cond.M {
+		panic("join: window sizes must match condition arity")
+	}
+	idx := cond.IndexedAttrs()
+	o := &Operator{
+		cond:      cond,
+		plans:     buildPlans(cond),
+		windows:   make([]*window.Window, cond.M),
+		assignBuf: make([]*stream.Tuple, cond.M),
+		countsBuf: make([]int64, cond.M),
+	}
+	for i, w := range sizes {
+		if w <= 0 {
+			panic("join: window size must be positive")
+		}
+		o.windows[i] = window.New(w, idx[i]...)
+	}
+	for _, opt := range opts {
+		opt(o)
+	}
+	return o
+}
+
+// M returns the number of input streams.
+func (o *Operator) M() int { return o.cond.M }
+
+// SetEmit installs (or clears) the result callback after construction. A
+// non-nil emit disables the counting-only probe fast path.
+func (o *Operator) SetEmit(f EmitFunc) { o.emit = f }
+
+// Results returns the total number of results produced so far.
+func (o *Operator) Results() int64 { return o.results }
+
+// OutOfOrder returns how many received tuples were out of order w.r.t. onT.
+func (o *Operator) OutOfOrder() int64 { return o.outOfOrder }
+
+// Processed returns the total number of received tuples.
+func (o *Operator) Processed() int64 { return o.processed }
+
+// HighWatermark returns onT, the maximum timestamp among received tuples.
+func (o *Operator) HighWatermark() stream.Time { return o.onT }
+
+// WindowLen returns the current cardinality of the window on stream i.
+func (o *Operator) WindowLen(i int) int { return o.windows[i].Len() }
+
+// Process consumes one tuple per Alg. 2.
+func (o *Operator) Process(e *stream.Tuple) {
+	o.processed++
+	if e.TS >= o.onT {
+		// In-order tuple: advance the watermark, expire, probe, insert.
+		if e.TS > o.onT {
+			o.onT = e.TS
+		}
+		var nCross int64 = 1
+		for j, w := range o.windows {
+			if j == e.Src {
+				continue
+			}
+			w.Expire(e.TS - w.Size())
+			nCross *= int64(w.Len())
+		}
+		nOn := o.probe(e)
+		o.results += nOn
+		if o.countEmit != nil && nOn > 0 {
+			o.countEmit(e.TS, nOn)
+		}
+		o.windows[e.Src].Insert(e)
+		if o.onProcessed != nil {
+			o.onProcessed(e, nCross, nOn, true)
+		}
+		return
+	}
+	// Out-of-order tuple: skip expiration and probing. Insert only if it is
+	// still within the current scope of its own window so it can contribute
+	// to future results (lines 9–10).
+	o.outOfOrder++
+	if e.TS > o.onT-o.windows[e.Src].Size() {
+		o.windows[e.Src].Insert(e)
+	}
+	if o.onProcessed != nil {
+		o.onProcessed(e, 0, 0, false)
+	}
+}
+
+// probe joins e against the windows on all other streams and returns the
+// number of produced results.
+func (o *Operator) probe(e *stream.Tuple) int64 {
+	for i := range o.assignBuf {
+		o.assignBuf[i] = nil
+	}
+	o.assignBuf[e.Src] = e
+	return o.search(o.plans[e.Src], 0, o.assignBuf)
+}
+
+// search enumerates (or counts) assignments level by level.
+func (o *Operator) search(p plan, lvl int, assign []*stream.Tuple) int64 {
+	if lvl == len(p) {
+		if o.emit != nil {
+			tuples := make([]*stream.Tuple, len(assign))
+			copy(tuples, assign)
+			o.emit(stream.NewResult(tuples))
+		}
+		return 1
+	}
+	st := p[lvl]
+	// Counting-only fast path: when the remaining steps are mutually
+	// independent and no results need materializing, multiply counts.
+	if st.countableTail && o.emit == nil {
+		var prod int64 = 1
+		for j := lvl; j < len(p); j++ {
+			prod *= o.candidateCount(p[j], assign)
+			if prod == 0 {
+				return 0
+			}
+		}
+		return prod
+	}
+	var n int64
+	for _, cand := range o.candidates(st, assign) {
+		assign[st.stream] = cand
+		if o.stepChecks(st, assign) {
+			n += o.search(p, lvl+1, assign)
+		}
+	}
+	assign[st.stream] = nil
+	return n
+}
+
+// candidates returns the window tuples on st.stream compatible with the
+// bound lookups of the step. With at least one lookup the first index is
+// probed and remaining lookups filter; with none the whole window scans.
+func (o *Operator) candidates(st step, assign []*stream.Tuple) []*stream.Tuple {
+	w := o.windows[st.stream]
+	if len(st.lookups) == 0 {
+		return w.All()
+	}
+	l0 := st.lookups[0]
+	base := w.Match(l0.ownAttr, assign[l0.boundStream].Attr(l0.boundAttr))
+	if len(st.lookups) == 1 {
+		return base
+	}
+	out := base[:0:0]
+	for _, cand := range base {
+		ok := true
+		for _, l := range st.lookups[1:] {
+			if cand.Attr(l.ownAttr) != assign[l.boundStream].Attr(l.boundAttr) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// candidateCount counts candidates without materializing them when possible.
+func (o *Operator) candidateCount(st step, assign []*stream.Tuple) int64 {
+	w := o.windows[st.stream]
+	if len(st.lookups) == 0 {
+		return int64(w.Len())
+	}
+	l0 := st.lookups[0]
+	base := w.Match(l0.ownAttr, assign[l0.boundStream].Attr(l0.boundAttr))
+	if len(st.lookups) == 1 {
+		return int64(len(base))
+	}
+	var n int64
+	for _, cand := range base {
+		ok := true
+		for _, l := range st.lookups[1:] {
+			if cand.Attr(l.ownAttr) != assign[l.boundStream].Attr(l.boundAttr) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// stepChecks evaluates the generic predicates that became fully bound.
+func (o *Operator) stepChecks(st step, assign []*stream.Tuple) bool {
+	for _, gi := range st.checks {
+		if !o.cond.Generics[gi].Eval(assign) {
+			return false
+		}
+	}
+	return true
+}

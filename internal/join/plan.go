@@ -1,0 +1,125 @@
+package join
+
+// The planner compiles, for each possible arriving stream, a probe order over
+// the remaining streams. Each probe step carries the index lookups that
+// become available once earlier streams are bound and the generic predicates
+// that become fully bound after the step. Finding the *optimal* join order is
+// orthogonal to the paper (Sec. II-A); the greedy connected-first order below
+// matches what MJoin-style systems do by default.
+
+// lookup keys the probed stream's ownAttr index with the value of
+// boundStream.Attr(boundAttr) from the current partial assignment.
+type lookup struct {
+	boundStream, boundAttr int
+	ownAttr                int
+}
+
+// step probes one stream.
+type step struct {
+	stream  int
+	lookups []lookup
+	checks  []int // indexes into Condition.Generics fully bound after this step
+	// countableTail is true when this step and every later step reference
+	// only streams bound before this step and carry no generic checks; in
+	// that case a counting-only probe can multiply candidate counts instead
+	// of enumerating the cross product.
+	countableTail bool
+}
+
+// plan is the probe order for one arriving stream.
+type plan []step
+
+// buildPlans compiles one plan per arriving stream.
+func buildPlans(c *Condition) []plan {
+	plans := make([]plan, c.M)
+	for s := 0; s < c.M; s++ {
+		plans[s] = buildPlan(c, s)
+	}
+	return plans
+}
+
+func buildPlan(c *Condition, arriving int) plan {
+	bound := make([]bool, c.M)
+	bound[arriving] = true
+	assigned := make([]bool, len(c.Generics))
+	var p plan
+	for n := 1; n < c.M; n++ {
+		next := pickNext(c, bound)
+		st := step{stream: next}
+		for _, e := range c.Equis {
+			switch {
+			case e.LeftStream == next && bound[e.RightStream]:
+				st.lookups = append(st.lookups, lookup{e.RightStream, e.RightAttr, e.LeftAttr})
+			case e.RightStream == next && bound[e.LeftStream]:
+				st.lookups = append(st.lookups, lookup{e.LeftStream, e.LeftAttr, e.RightAttr})
+			}
+		}
+		bound[next] = true
+		for gi, g := range c.Generics {
+			if assigned[gi] {
+				continue
+			}
+			all := true
+			for _, gs := range g.Streams {
+				if !bound[gs] {
+					all = false
+					break
+				}
+			}
+			if all {
+				assigned[gi] = true
+				st.checks = append(st.checks, gi)
+			}
+		}
+		p = append(p, st)
+	}
+	markCountableTails(arriving, p)
+	return p
+}
+
+// pickNext greedily prefers the unbound stream with the most equi-predicates
+// connecting it to the bound set (so index lookups narrow candidates as early
+// as possible), breaking ties by stream index.
+func pickNext(c *Condition, bound []bool) int {
+	best, bestConn := -1, -1
+	for s := 0; s < c.M; s++ {
+		if bound[s] {
+			continue
+		}
+		conn := 0
+		for _, e := range c.Equis {
+			if (e.LeftStream == s && bound[e.RightStream]) || (e.RightStream == s && bound[e.LeftStream]) {
+				conn++
+			}
+		}
+		if conn > bestConn {
+			best, bestConn = s, conn
+		}
+	}
+	return best
+}
+
+// markCountableTails computes, back to front, whether the suffix starting at
+// each step is enumerable by pure counting.
+func markCountableTails(arriving int, p plan) {
+	for i := range p {
+		boundBefore := map[int]bool{arriving: true}
+		for j := 0; j < i; j++ {
+			boundBefore[p[j].stream] = true
+		}
+		ok := true
+		for j := i; j < len(p) && ok; j++ {
+			if len(p[j].checks) > 0 {
+				ok = false
+				break
+			}
+			for _, l := range p[j].lookups {
+				if !boundBefore[l.boundStream] {
+					ok = false
+					break
+				}
+			}
+		}
+		p[i].countableTail = ok
+	}
+}

@@ -1,0 +1,130 @@
+// Package kslack implements the K-slack input-sorting buffer (Sec. III-A,
+// Fig. 3) used to handle the intra-stream disorder of one input stream.
+//
+// A buffer of K time units sorts arriving tuples by timestamp: whenever the
+// stream's local current time iT advances, every buffered tuple e with
+// e.ts + K ≤ iT is released in timestamp order. A tuple whose delay exceeds
+// K is released late and remains out of order in the output.
+//
+// The component also performs the delay annotation of Sec. IV-B: every tuple
+// is stamped with delay(e) = iT − e.ts on arrival, and the annotation rides
+// with the tuple to the join operator and the Tuple-Productivity Profiler.
+package kslack
+
+import (
+	"container/heap"
+
+	"repro/internal/stream"
+)
+
+// EmitFunc receives released tuples in release order.
+type EmitFunc func(*stream.Tuple)
+
+// Buffer is a K-slack sorting buffer for a single stream. K may change at
+// any time through SetK; shrinking K releases newly eligible tuples
+// immediately so an adaptation step takes effect without waiting for the
+// next arrival.
+type Buffer struct {
+	k      stream.Time
+	localT stream.Time
+	seen   bool
+	heap   tupleHeap
+	emit   EmitFunc
+
+	arrived  int64
+	released int64
+	maxDelay stream.Time
+}
+
+// New creates a K-slack buffer with initial buffer size k (≥ 0) emitting
+// released tuples to emit.
+func New(k stream.Time, emit EmitFunc) *Buffer {
+	if k < 0 {
+		k = 0
+	}
+	return &Buffer{k: k, emit: emit}
+}
+
+// K returns the current buffer size in time units.
+func (b *Buffer) K() stream.Time { return b.k }
+
+// SetK changes the buffer size. Reducing K releases all newly eligible
+// tuples right away.
+func (b *Buffer) SetK(k stream.Time) {
+	if k < 0 {
+		k = 0
+	}
+	b.k = k
+	b.release()
+}
+
+// LocalT returns the stream's local current time iT, the maximum timestamp
+// among arrived tuples (Sec. II-A).
+func (b *Buffer) LocalT() stream.Time { return b.localT }
+
+// Len returns the number of currently buffered tuples.
+func (b *Buffer) Len() int { return len(b.heap) }
+
+// Arrived returns the number of tuples pushed so far.
+func (b *Buffer) Arrived() int64 { return b.arrived }
+
+// MaxDelay returns the maximum delay observed among arrived tuples.
+func (b *Buffer) MaxDelay() stream.Time { return b.maxDelay }
+
+// Push accepts one arriving tuple: updates iT, annotates the tuple's delay,
+// buffers it and releases every tuple whose slack has expired.
+func (b *Buffer) Push(e *stream.Tuple) {
+	b.arrived++
+	if !b.seen || e.TS > b.localT {
+		b.localT = e.TS
+		b.seen = true
+	}
+	e.Delay = b.localT - e.TS
+	if e.Delay > b.maxDelay {
+		b.maxDelay = e.Delay
+	}
+	heap.Push(&b.heap, e)
+	b.release()
+}
+
+// Flush releases every remaining buffered tuple in timestamp order. Call it
+// when the input stream ends.
+func (b *Buffer) Flush() {
+	for len(b.heap) > 0 {
+		b.pop()
+	}
+}
+
+// release emits all tuples with ts + K ≤ iT, in timestamp order.
+func (b *Buffer) release() {
+	for len(b.heap) > 0 && b.heap[0].TS+b.k <= b.localT {
+		b.pop()
+	}
+}
+
+func (b *Buffer) pop() {
+	e := heap.Pop(&b.heap).(*stream.Tuple)
+	b.released++
+	b.emit(e)
+}
+
+// tupleHeap is a min-heap on (TS, Seq) so ties keep arrival order.
+type tupleHeap []*stream.Tuple
+
+func (h tupleHeap) Len() int { return len(h) }
+func (h tupleHeap) Less(i, j int) bool {
+	if h[i].TS != h[j].TS {
+		return h[i].TS < h[j].TS
+	}
+	return h[i].Seq < h[j].Seq
+}
+func (h tupleHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *tupleHeap) Push(x any)   { *h = append(*h, x.(*stream.Tuple)) }
+func (h *tupleHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

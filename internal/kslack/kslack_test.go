@@ -1,0 +1,203 @@
+package kslack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stream"
+)
+
+func collect(out *[]*stream.Tuple) EmitFunc {
+	return func(e *stream.Tuple) { *out = append(*out, e) }
+}
+
+func tup(ts stream.Time, seq uint64) *stream.Tuple {
+	return &stream.Tuple{TS: ts, Seq: seq}
+}
+
+// TestFig3Example replays the worked example of Fig. 3 (paper Sec. III-A):
+// input timestamps 1,4,3,5,7,8,6,9 through K-slack with K = 1 must release
+// 1,3,4,5,7,6,8 (e_{i,7} with delay 2 stays out of order but its delay drops
+// to 1) and leave 9 buffered.
+func TestFig3Example(t *testing.T) {
+	var out []*stream.Tuple
+	b := New(1, collect(&out))
+	in := []stream.Time{1, 4, 3, 5, 7, 8, 6, 9}
+	for i, ts := range in {
+		b.Push(tup(ts, uint64(i)))
+	}
+	want := []stream.Time{1, 3, 4, 5, 7, 6, 8}
+	if len(out) != len(want) {
+		t.Fatalf("released %d tuples, want %d", len(out), len(want))
+	}
+	for i, ts := range want {
+		if out[i].TS != ts {
+			t.Fatalf("release[%d] = %d, want %d", i, out[i].TS, ts)
+		}
+	}
+	if b.Len() != 1 {
+		t.Fatalf("buffer should hold 1 tuple (ts 9), holds %d", b.Len())
+	}
+	// Residual delay of the unsortable tuple (ts 6, original delay 2) is 1
+	// time unit in the output, per the paper's observation.
+	outDelay := out[5].Delay // annotation carries original delay
+	if outDelay != 2 {
+		t.Fatalf("delay annotation = %d, want original delay 2", outDelay)
+	}
+}
+
+func TestDelayAnnotation(t *testing.T) {
+	var out []*stream.Tuple
+	b := New(0, collect(&out))
+	b.Push(tup(10, 0))
+	b.Push(tup(4, 1))
+	b.Push(tup(12, 2))
+	if out[0].Delay != 0 || out[1].Delay != 6 || out[2].Delay != 0 {
+		t.Fatalf("delays = %d,%d,%d want 0,6,0", out[0].Delay, out[1].Delay, out[2].Delay)
+	}
+	if b.MaxDelay() != 6 {
+		t.Fatalf("MaxDelay = %d", b.MaxDelay())
+	}
+}
+
+func TestZeroKReleasesEverythingEligible(t *testing.T) {
+	var out []*stream.Tuple
+	b := New(0, collect(&out))
+	b.Push(tup(5, 0))
+	if len(out) != 1 {
+		t.Fatal("with K=0 the watermark tuple itself must release")
+	}
+}
+
+func TestLargeKBuffersUntilFlush(t *testing.T) {
+	var out []*stream.Tuple
+	b := New(1000, collect(&out))
+	for i := 0; i < 10; i++ {
+		b.Push(tup(stream.Time(i), uint64(i)))
+	}
+	if len(out) != 0 {
+		t.Fatalf("nothing should release, got %d", len(out))
+	}
+	b.Flush()
+	if len(out) != 10 {
+		t.Fatalf("flush must release all, got %d", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].TS < out[i-1].TS {
+			t.Fatal("flush must release in timestamp order")
+		}
+	}
+}
+
+func TestSetKShrinkReleasesEagerly(t *testing.T) {
+	var out []*stream.Tuple
+	b := New(100, collect(&out))
+	b.Push(tup(1, 0))
+	b.Push(tup(2, 1))
+	b.Push(tup(50, 2))
+	if len(out) != 0 {
+		t.Fatal("K=100 should buffer everything")
+	}
+	b.SetK(10)
+	if len(out) != 2 {
+		t.Fatalf("shrinking K to 10 should release ts 1,2; got %d", len(out))
+	}
+}
+
+func TestSetKNegativeClamped(t *testing.T) {
+	b := New(-5, func(*stream.Tuple) {})
+	if b.K() != 0 {
+		t.Fatal("negative initial K must clamp to 0")
+	}
+	b.SetK(-1)
+	if b.K() != 0 {
+		t.Fatal("negative SetK must clamp to 0")
+	}
+}
+
+func TestExactDelayEqualsKIsSorted(t *testing.T) {
+	// A tuple with delay exactly K must be re-ordered correctly: it is
+	// released only when ts+K ≤ iT, i.e. exactly when the watermark reaches
+	// its slack bound.
+	var out []*stream.Tuple
+	b := New(5, collect(&out))
+	b.Push(tup(10, 0)) // iT=10
+	b.Push(tup(5, 1))  // delay 5 == K; eligible: 5+5 ≤ 10
+	if len(out) != 1 || out[0].TS != 5 {
+		t.Fatalf("tuple with delay == K must release in order, out=%v", out)
+	}
+}
+
+// Property (paper Sec. III-A): with K at least the maximum delay, the output
+// is fully timestamp-sorted; and regardless of K, output delays never exceed
+// max(0, delay−K) in the released stream.
+func TestKAtLeastMaxDelaySorts(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var in []*stream.Tuple
+		ts := stream.Time(0)
+		for i := 0; i < 300; i++ {
+			ts += stream.Time(rng.Intn(5))
+			d := stream.Time(rng.Intn(20))
+			in = append(in, &stream.Tuple{TS: maxT(0, ts-d), Seq: uint64(i)})
+		}
+		maxDelay, _ := stream.Batch(in).MaxDelay()
+		var out []*stream.Tuple
+		b := New(maxDelay, collect(&out))
+		for _, e := range in {
+			b.Push(e)
+		}
+		b.Flush()
+		if len(out) != len(in) {
+			return false
+		}
+		for i := 1; i < len(out); i++ {
+			if out[i].TS < out[i-1].TS {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: K-slack never loses or duplicates tuples.
+func TestConservationProperty(t *testing.T) {
+	f := func(seed int64, kRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := stream.Time(kRaw % 50)
+		var out []*stream.Tuple
+		b := New(k, collect(&out))
+		n := 200
+		ts := stream.Time(0)
+		for i := 0; i < n; i++ {
+			ts += stream.Time(rng.Intn(4))
+			b.Push(&stream.Tuple{TS: maxT(0, ts-stream.Time(rng.Intn(30))), Seq: uint64(i)})
+		}
+		b.Flush()
+		if len(out) != n {
+			return false
+		}
+		seen := map[uint64]bool{}
+		for _, e := range out {
+			if seen[e.Seq] {
+				return false
+			}
+			seen[e.Seq] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func maxT(a, b stream.Time) stream.Time {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,198 @@
+// Package metrics implements the evaluation metrics of Sec. VI: the
+// period-based recall γ(P) measured against oracle ground truth, and the
+// requirement-fulfillment percentages Φ(Γ) and Φ(.99Γ).
+package metrics
+
+import (
+	"sort"
+
+	"repro/internal/oracle"
+	"repro/internal/stream"
+)
+
+// RecallTracker measures γ(P) of a produced result stream against the true
+// results, at arbitrary points in logical time. It tracks per-timestamp
+// result counts rather than materialized results, so it stays cheap even
+// for joins with very large outputs.
+type RecallTracker struct {
+	p     stream.Time
+	truth *oracle.Index
+
+	ts     []stream.Time
+	ns     []int64
+	cum    []int64
+	total  int64
+	sorted bool
+}
+
+// NewRecallTracker creates a tracker for measurement period P.
+func NewRecallTracker(p stream.Time, truth *oracle.Index) *RecallTracker {
+	return &RecallTracker{p: p, truth: truth, sorted: true}
+}
+
+// AddResult records one produced result timestamp.
+func (t *RecallTracker) AddResult(ts stream.Time) { t.AddResults(ts, 1) }
+
+// AddResults records n produced results sharing timestamp ts. The framework
+// emits counts with non-decreasing timestamps except for rare releases after
+// a K shrink; out-of-order adds mark the tracker for re-sorting at the next
+// measurement.
+func (t *RecallTracker) AddResults(ts stream.Time, n int64) {
+	if n <= 0 {
+		return
+	}
+	if len(t.ts) > 0 && t.ts[len(t.ts)-1] > ts {
+		t.sorted = false
+	}
+	t.ts = append(t.ts, ts)
+	t.ns = append(t.ns, n)
+	t.total += n
+}
+
+// Produced returns the total number of recorded results.
+func (t *RecallTracker) Produced() int64 { return t.total }
+
+// ensure re-sorts (rarely) and extends the prefix-sum cache.
+func (t *RecallTracker) ensure() {
+	if !t.sorted {
+		idx := make([]int, len(t.ts))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return t.ts[idx[a]] < t.ts[idx[b]] })
+		ts := make([]stream.Time, len(t.ts))
+		ns := make([]int64, len(t.ns))
+		for i, j := range idx {
+			ts[i], ns[i] = t.ts[j], t.ns[j]
+		}
+		t.ts, t.ns = ts, ns
+		t.cum = t.cum[:0]
+		t.sorted = true
+	}
+	for len(t.cum) < len(t.ts) {
+		i := len(t.cum)
+		var prev int64
+		if i > 0 {
+			prev = t.cum[i-1]
+		}
+		t.cum = append(t.cum, prev+t.ns[i])
+	}
+}
+
+// producedAt returns the number of produced results with timestamp ≤ x.
+func (t *RecallTracker) producedAt(x stream.Time) int64 {
+	i := sort.Search(len(t.ts), func(i int) bool { return t.ts[i] > x })
+	if i == 0 {
+		return 0
+	}
+	return t.cum[i-1]
+}
+
+// Measure returns γ(P) at logical time now: the fraction of true results
+// with timestamps in (now−P, now] that were produced. ok is false when the
+// period contains no true results, in which case the measurement is
+// undefined and the paper-style evaluation skips it.
+func (t *RecallTracker) Measure(now stream.Time) (recall float64, ok bool) {
+	lo, hi := now-t.p, now
+	trueN := t.truth.CountRange(lo, hi)
+	if trueN == 0 {
+		return 0, false
+	}
+	t.ensure()
+	got := float64(t.producedAt(hi) - t.producedAt(lo))
+	r := got / float64(trueN)
+	if r > 1 {
+		// Produced results can only be a subset of true results for a
+		// correct pipeline; clamp defensively for callers that feed
+		// mismatched truth.
+		r = 1
+	}
+	return r, true
+}
+
+// Measurement is one γ(P) observation.
+type Measurement struct {
+	Now    stream.Time
+	Recall float64
+}
+
+// Series accumulates γ(P) measurements taken right before each adaptation
+// step and derives the paper's summary metrics.
+type Series struct {
+	P            stream.Time
+	Measurements []Measurement
+	firstNow     stream.Time
+	haveFirst    bool
+}
+
+// NewSeries creates a measurement series for period P.
+func NewSeries(p stream.Time) *Series { return &Series{P: p} }
+
+// Add records one measurement.
+func (s *Series) Add(now stream.Time, recall float64) {
+	if !s.haveFirst {
+		s.firstNow = now
+		s.haveFirst = true
+	}
+	s.Measurements = append(s.Measurements, Measurement{Now: now, Recall: recall})
+}
+
+// usable filters out measurements taken during the first quality measurement
+// period, which the paper excludes when computing Φ.
+func (s *Series) usable() []Measurement {
+	if !s.haveFirst {
+		return nil
+	}
+	cut := s.firstNow + s.P
+	out := make([]Measurement, 0, len(s.Measurements))
+	for _, m := range s.Measurements {
+		if m.Now >= cut {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Phi returns Φ(γ): the percentage of usable γ(P) measurements that are not
+// lower than threshold. ok is false if no usable measurements exist.
+func (s *Series) Phi(threshold float64) (pct float64, ok bool) {
+	ms := s.usable()
+	if len(ms) == 0 {
+		return 0, false
+	}
+	n := 0
+	for _, m := range ms {
+		if m.Recall >= threshold {
+			n++
+		}
+	}
+	return 100 * float64(n) / float64(len(ms)), true
+}
+
+// Mean returns the average of usable recall measurements.
+func (s *Series) Mean() float64 {
+	ms := s.usable()
+	if len(ms) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, m := range ms {
+		sum += m.Recall
+	}
+	return sum / float64(len(ms))
+}
+
+// Min returns the minimum usable recall measurement, or 0 when empty.
+func (s *Series) Min() float64 {
+	ms := s.usable()
+	if len(ms) == 0 {
+		return 0
+	}
+	min := ms[0].Recall
+	for _, m := range ms[1:] {
+		if m.Recall < min {
+			min = m.Recall
+		}
+	}
+	return min
+}

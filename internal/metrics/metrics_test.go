@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/oracle"
+	"repro/internal/stream"
+)
+
+func TestRecallMeasure(t *testing.T) {
+	truth := oracle.FromTimestamps([]stream.Time{10, 20, 30, 40})
+	tr := NewRecallTracker(25, truth)
+	tr.AddResult(20)
+	tr.AddResult(30)
+	// At now=40: window (15,40] has true {20,30,40}, produced {20,30}.
+	r, ok := tr.Measure(40)
+	if !ok || math.Abs(r-2.0/3) > 1e-12 {
+		t.Fatalf("recall = %v ok=%v, want 2/3", r, ok)
+	}
+}
+
+func TestRecallNoTruthInPeriod(t *testing.T) {
+	truth := oracle.FromTimestamps([]stream.Time{1000})
+	tr := NewRecallTracker(10, truth)
+	if _, ok := tr.Measure(50); ok {
+		t.Fatal("measurement with no true results must be invalid")
+	}
+}
+
+func TestRecallClamped(t *testing.T) {
+	truth := oracle.FromTimestamps([]stream.Time{10})
+	tr := NewRecallTracker(100, truth)
+	tr.AddResult(10)
+	tr.AddResult(10) // duplicate (mismatched truth) would exceed 1
+	r, ok := tr.Measure(50)
+	if !ok || r != 1 {
+		t.Fatalf("recall = %v, want clamp to 1", r)
+	}
+}
+
+func TestAddResultOutOfOrderInsert(t *testing.T) {
+	truth := oracle.FromTimestamps([]stream.Time{1, 2, 3})
+	tr := NewRecallTracker(100, truth)
+	tr.AddResult(3)
+	tr.AddResult(1) // out-of-order insert path
+	tr.AddResult(2)
+	r, ok := tr.Measure(3)
+	if !ok || r != 1 {
+		t.Fatalf("recall = %v", r)
+	}
+	if tr.Produced() != 3 {
+		t.Fatalf("Produced = %d", tr.Produced())
+	}
+}
+
+func TestSeriesPhi(t *testing.T) {
+	s := NewSeries(100)
+	// First measurement at now=0 → everything before now=100 is warm-up.
+	s.Add(0, 0.5)  // excluded
+	s.Add(50, 0.2) // excluded
+	s.Add(100, 0.95)
+	s.Add(200, 0.90)
+	s.Add(300, 0.80)
+	pct, ok := s.Phi(0.9)
+	if !ok || math.Abs(pct-200.0/3) > 1e-9 {
+		t.Fatalf("Phi = %v ok=%v, want 66.7", pct, ok)
+	}
+	pct99, _ := s.Phi(0.9 * 0.99)
+	if pct99 < pct {
+		t.Fatal("Φ(.99Γ) must be at least Φ(Γ)")
+	}
+}
+
+func TestSeriesEmptyPhi(t *testing.T) {
+	s := NewSeries(100)
+	if _, ok := s.Phi(0.9); ok {
+		t.Fatal("empty series must report no Phi")
+	}
+	s.Add(0, 0.5) // warm-up only
+	if _, ok := s.Phi(0.9); ok {
+		t.Fatal("warm-up-only series must report no Phi")
+	}
+}
+
+func TestSeriesMeanMin(t *testing.T) {
+	s := NewSeries(10)
+	s.Add(0, 0.1) // warm-up
+	s.Add(10, 0.8)
+	s.Add(20, 0.6)
+	if math.Abs(s.Mean()-0.7) > 1e-12 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 0.6 {
+		t.Fatalf("Min = %v", s.Min())
+	}
+}

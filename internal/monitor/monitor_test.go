@@ -1,0 +1,84 @@
+package monitor
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func TestProducedWindow(t *testing.T) {
+	m := New(100, 0)
+	m.AddResults(10, 3)
+	m.AddResults(50, 2)
+	m.AddResults(120, 1)
+	m.Advance(150) // window (50, 150]: drops ts 10 and ts 50
+	if m.Produced() != 1 {
+		t.Fatalf("Produced = %d, want 1", m.Produced())
+	}
+	m.Advance(220) // drops ts 120
+	if m.Produced() != 0 {
+		t.Fatalf("Produced = %d, want 0", m.Produced())
+	}
+}
+
+func TestBoundaryInclusive(t *testing.T) {
+	// Advance prunes ts ≤ now − span, keeping the half-open (now−span, now].
+	m := New(100, 0)
+	m.AddResults(100, 1)
+	m.Advance(200) // bound = 100 → ts 100 drops
+	if m.Produced() != 0 {
+		t.Fatalf("ts == bound must be pruned, Produced = %d", m.Produced())
+	}
+	m2 := New(100, 0)
+	m2.AddResults(101, 1)
+	m2.Advance(200)
+	if m2.Produced() != 1 {
+		t.Fatalf("ts inside window must stay, Produced = %d", m2.Produced())
+	}
+}
+
+func TestZeroAndNegativeAddIgnored(t *testing.T) {
+	m := New(100, 0)
+	m.AddResults(10, 0)
+	m.AddResults(10, -5)
+	if m.Produced() != 0 {
+		t.Fatal("non-positive adds must be ignored")
+	}
+}
+
+func TestTrueEstimateRing(t *testing.T) {
+	m := New(100, 3)
+	m.PushTrueEstimate(10)
+	m.PushTrueEstimate(20)
+	if m.TrueEstimate() != 30 {
+		t.Fatalf("TrueEstimate = %v", m.TrueEstimate())
+	}
+	m.PushTrueEstimate(30)
+	m.PushTrueEstimate(40) // evicts 10
+	if m.TrueEstimate() != 90 {
+		t.Fatalf("TrueEstimate = %v, want 20+30+40", m.TrueEstimate())
+	}
+	m.PushTrueEstimate(50) // evicts 20
+	if m.TrueEstimate() != 120 {
+		t.Fatalf("TrueEstimate = %v, want 30+40+50", m.TrueEstimate())
+	}
+}
+
+func TestZeroCapacityRing(t *testing.T) {
+	m := New(100, 0)
+	m.PushTrueEstimate(10)
+	if m.TrueEstimate() != 0 {
+		t.Fatal("zero-capacity ring must stay empty")
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	m := New(10, 0)
+	for i := 0; i < 5000; i++ {
+		m.AddResults(stream.Time(i), 1)
+		m.Advance(stream.Time(i))
+	}
+	if m.Produced() > 10 {
+		t.Fatalf("window of 10 should retain ≤10 results, got %d", m.Produced())
+	}
+}

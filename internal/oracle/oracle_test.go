@@ -1,0 +1,82 @@
+package oracle
+
+import (
+	"testing"
+
+	"repro/internal/join"
+	"repro/internal/stream"
+)
+
+func tup(src int, ts stream.Time, seq uint64, key float64) *stream.Tuple {
+	return &stream.Tuple{TS: ts, Seq: seq, Src: src, Attrs: []float64{key}}
+}
+
+func TestTrueResultsSortsInput(t *testing.T) {
+	cond := join.Cross(2).Equi(0, 0, 1, 0)
+	// Disordered arrival: the C4/c3 pair of Fig. 1 must be found by the
+	// oracle even though a live run would miss it.
+	in := stream.Batch{
+		tup(1, 3, 0, 3), // c3
+		tup(0, 6, 1, 2), // B6
+		tup(0, 4, 2, 3), // C4 late
+	}
+	ix := TrueResults(cond, []stream.Time{2, 2}, in)
+	if ix.Total() != 1 {
+		t.Fatalf("true results = %d, want 1", ix.Total())
+	}
+	if ix.CountRange(3, 4) != 1 {
+		t.Fatal("result timestamp must be 4 (max deriving ts)")
+	}
+}
+
+func TestCountRangeSemantics(t *testing.T) {
+	ix := FromTimestamps([]stream.Time{5, 10, 10, 20})
+	if got := ix.CountRange(0, 30); got != 4 {
+		t.Fatalf("full range = %d", got)
+	}
+	// Half-open (lo, hi]: lo excluded, hi included.
+	if got := ix.CountRange(5, 10); got != 2 {
+		t.Fatalf("(5,10] = %d, want 2", got)
+	}
+	if got := ix.CountRange(4, 5); got != 1 {
+		t.Fatalf("(4,5] = %d, want 1", got)
+	}
+	if got := ix.CountRange(20, 100); got != 0 {
+		t.Fatalf("(20,100] = %d, want 0", got)
+	}
+}
+
+func TestFromTimestampsSorts(t *testing.T) {
+	ix := FromTimestamps([]stream.Time{9, 1, 5})
+	ts := ix.Timestamps()
+	if ts[0] != 1 || ts[1] != 5 || ts[2] != 9 {
+		t.Fatalf("timestamps not sorted: %v", ts)
+	}
+}
+
+func TestEmptyIndex(t *testing.T) {
+	ix := FromTimestamps(nil)
+	if ix.Total() != 0 || ix.CountRange(-100, 100) != 0 {
+		t.Fatal("empty index must count zero")
+	}
+}
+
+// TestOracleMatchesLiveOnOrderedInput: when the arrival order is already the
+// timestamp order, a live operator run and the oracle agree exactly.
+func TestOracleMatchesLiveOnOrderedInput(t *testing.T) {
+	cond := join.Cross(2).Equi(0, 0, 1, 0)
+	var in stream.Batch
+	for i := 0; i < 200; i++ {
+		in = append(in, tup(i%2, stream.Time(i), uint64(i), float64(i%5)))
+	}
+	ix := TrueResults(cond, []stream.Time{10, 10}, in)
+
+	var live int64
+	op := join.New(cond, []stream.Time{10, 10}, join.WithEmit(func(stream.Result) { live++ }))
+	for _, e := range in {
+		op.Process(e)
+	}
+	if live != ix.Total() {
+		t.Fatalf("live %d vs oracle %d", live, ix.Total())
+	}
+}

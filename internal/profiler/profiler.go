@@ -1,0 +1,222 @@
+// Package profiler implements the Tuple-Productivity Profiler of Sec. IV-B,
+// which learns the correlation between the delay and the productivity of
+// tuples (DPcorr) by monitoring the output of the join.
+//
+// For every in-order tuple e the join operator reports the cross-join result
+// size n×(e) the tuple would derive and the number n^on(e) of results it
+// actually derived. The profiler accumulates both per coarse-grained delay
+// value into the maps M× and M^on. The productivity of an out-of-order tuple
+// (for which no probing happened) is estimated conservatively as the maximum
+// n^on / n× over all in-order tuples of the same adaptation interval.
+//
+// From the maps the profiler estimates the selectivity ratio
+// sel^on(K) / sel^on of Eq. (6) for any candidate K, and the true result
+// size N^on_true(L) of the last interval as ΣM^on[d].
+package profiler
+
+import (
+	"repro/internal/stream"
+)
+
+// Profiler accumulates productivity statistics for one adaptation interval.
+type Profiler struct {
+	g stream.Time
+
+	mOn    map[int]int64
+	mCross map[int]int64
+
+	maxOn    int64
+	maxCross int64
+	inOrder  int64
+
+	// pendingOOO holds the coarse delays of out-of-order tuples observed in
+	// the current interval; their estimated contributions are folded into
+	// the maps at Snapshot time, once the interval's maxima are known.
+	pendingOOO []int
+}
+
+// New creates a profiler with delay coarsening granularity g (the K-search
+// granularity of Alg. 3).
+func New(g stream.Time) *Profiler {
+	if g <= 0 {
+		g = 1
+	}
+	return &Profiler{
+		g:      g,
+		mOn:    map[int]int64{},
+		mCross: map[int]int64{},
+	}
+}
+
+// bucket coarsens a delay exactly like hist.Histogram.
+func (p *Profiler) bucket(delay stream.Time) int {
+	if delay <= 0 {
+		return 0
+	}
+	return int((delay + p.g - 1) / p.g)
+}
+
+// RecordInOrder accounts an in-order tuple with the given delay annotation.
+func (p *Profiler) RecordInOrder(delay stream.Time, nCross, nOn int64) {
+	b := p.bucket(delay)
+	p.mOn[b] += nOn
+	p.mCross[b] += nCross
+	if nOn > p.maxOn {
+		p.maxOn = nOn
+	}
+	if nCross > p.maxCross {
+		p.maxCross = nCross
+	}
+	p.inOrder++
+}
+
+// RecordOutOfOrder accounts an out-of-order tuple; its productivity is
+// estimated at Snapshot time.
+func (p *Profiler) RecordOutOfOrder(delay stream.Time) {
+	p.pendingOOO = append(p.pendingOOO, p.bucket(delay))
+}
+
+// InOrderCount returns the number of in-order tuples recorded this interval.
+func (p *Profiler) InOrderCount() int64 { return p.inOrder }
+
+// Snapshot is an immutable view of one interval's productivity statistics
+// with out-of-order estimates folded in.
+//
+// Out-of-order tuples are charged in two ways. The maps M× and M^on used by
+// the selectivity ratio (Eq. 6) charge each out-of-order tuple the interval
+// *maximum* in-order productivity, exactly as Sec. IV-B prescribes — the
+// paper motivates the conservative choice when discussing Fig. 9. The
+// N^on_true(L) estimate feeding the Γ′ derivation (Eq. 7) instead charges
+// the interval *mean*: under heavy disorder the max-charge inflates the
+// true-size estimate by the out-of-order fraction times max/mean, which
+// saturates Γ′ at 1 and pins K at its maximum; Eq. 7 needs an unbiased
+// estimate (documented as a deviation in DESIGN.md).
+type Snapshot struct {
+	g        stream.Time
+	mOn      map[int]int64
+	mCross   map[int]int64
+	maxDM    int // maximum coarse delay present in the maps
+	totOn    int64
+	totCross int64
+
+	trueOn    float64 // mean-charged N^on_true(L) estimate
+	trueCross float64
+	inOrder   int64
+
+	// Prefix sums over coarse delays 0..maxDM for O(1) SelRatio queries:
+	// cumOn[d] = Σ_{d'≤d} M^on[d'], likewise cumCross. The Alg. 3 search
+	// evaluates SelRatio for thousands of K candidates per adaptation step,
+	// so per-query map scans would dominate adaptation time.
+	cumOn    []int64
+	cumCross []int64
+}
+
+// Snapshot folds pending out-of-order estimates into the maps and returns
+// the interval view. It does not reset the profiler; call Reset separately
+// at the start of the next interval.
+func (p *Profiler) Snapshot() *Snapshot {
+	s := &Snapshot{
+		g:       p.g,
+		mOn:     make(map[int]int64, len(p.mOn)),
+		mCross:  make(map[int]int64, len(p.mCross)),
+		maxDM:   -1,
+		inOrder: p.inOrder,
+	}
+	for d, v := range p.mOn {
+		s.mOn[d] = v
+	}
+	for d, v := range p.mCross {
+		s.mCross[d] = v
+	}
+	for _, d := range p.pendingOOO {
+		s.mOn[d] += p.maxOn
+		s.mCross[d] += p.maxCross
+	}
+	for d, v := range s.mCross {
+		s.totCross += v
+		if d > s.maxDM {
+			s.maxDM = d
+		}
+	}
+	for d, v := range s.mOn {
+		s.totOn += v
+		if d > s.maxDM {
+			s.maxDM = d
+		}
+	}
+	// Unbiased true-size estimates: in-order sums plus the mean in-order
+	// productivity per out-of-order tuple.
+	var sumOn, sumCross int64
+	for _, v := range p.mOn {
+		sumOn += v
+	}
+	for _, v := range p.mCross {
+		sumCross += v
+	}
+	s.trueOn = float64(sumOn)
+	s.trueCross = float64(sumCross)
+	if p.inOrder > 0 && len(p.pendingOOO) > 0 {
+		nOOO := float64(len(p.pendingOOO))
+		s.trueOn += nOOO * float64(sumOn) / float64(p.inOrder)
+		s.trueCross += nOOO * float64(sumCross) / float64(p.inOrder)
+	}
+	if s.maxDM >= 0 {
+		s.cumOn = make([]int64, s.maxDM+1)
+		s.cumCross = make([]int64, s.maxDM+1)
+		var on, cross int64
+		for d := 0; d <= s.maxDM; d++ {
+			on += s.mOn[d]
+			cross += s.mCross[d]
+			s.cumOn[d] = on
+			s.cumCross[d] = cross
+		}
+	}
+	return s
+}
+
+// Reset clears the profiler for the next adaptation interval.
+func (p *Profiler) Reset() {
+	p.mOn = map[int]int64{}
+	p.mCross = map[int]int64{}
+	p.maxOn, p.maxCross = 0, 0
+	p.inOrder = 0
+	p.pendingOOO = p.pendingOOO[:0]
+}
+
+// SelRatio estimates sel^on(K)/sel^on per Eq. (6): the selectivity over
+// tuples re-orderable with buffer size K, relative to the true selectivity
+// (which a buffer of size MaxD^M would achieve). Degenerate denominators
+// yield the neutral ratio 1, which reduces the model to EqSel behaviour.
+// minSelSamples is the minimum number of in-order tuples an interval must
+// have recorded before its selectivity ratio is trusted. Very short
+// adaptation intervals (the paper sweeps L down to 100 ms, i.e. a few dozen
+// arrivals) produce ratios dominated by sampling noise that bias the recall
+// model; below the threshold the ratio degrades gracefully to the EqSel
+// assumption of 1.
+var minSelSamples int64 = 30
+
+func (s *Snapshot) SelRatio(k stream.Time) float64 {
+	if s.maxDM < 0 || s.inOrder < minSelSamples {
+		return 1
+	}
+	kb := int(k / s.g)
+	if kb > s.maxDM {
+		kb = s.maxDM
+	}
+	on, cross := s.cumOn[kb], s.cumCross[kb]
+	if cross == 0 || s.totOn == 0 || s.totCross == 0 || on == 0 {
+		return 1
+	}
+	return (float64(on) / float64(cross)) * (float64(s.totCross) / float64(s.totOn))
+}
+
+// TrueResults estimates N^on_true(L), the true result size of the interval
+// (Sec. IV-C), with the unbiased mean-charge for out-of-order tuples.
+func (s *Snapshot) TrueResults() float64 { return s.trueOn }
+
+// TrueCross returns the corresponding cross-join size estimate.
+func (s *Snapshot) TrueCross() float64 { return s.trueCross }
+
+// MaxChargedOn returns ΣM^on[d], the max-charged accumulation that Eq. (6)
+// ratios are built from; exposed for tests.
+func (s *Snapshot) MaxChargedOn() int64 { return s.totOn }

@@ -1,0 +1,129 @@
+package profiler
+
+import (
+	"math"
+	"testing"
+)
+
+// disableGuard lifts the minimum-sample guard so the Eq. (6) arithmetic can
+// be verified on tiny hand-built examples.
+func disableGuard(t *testing.T) {
+	t.Helper()
+	old := minSelSamples
+	minSelSamples = 0
+	t.Cleanup(func() { minSelSamples = old })
+}
+
+func TestSelRatioNeutralCases(t *testing.T) {
+	p := New(10)
+	s := p.Snapshot()
+	if s.SelRatio(0) != 1 {
+		t.Fatal("empty snapshot must yield neutral ratio")
+	}
+	p.RecordInOrder(0, 0, 0)
+	s = p.Snapshot()
+	if s.SelRatio(100) != 1 {
+		t.Fatal("all-zero counts must yield neutral ratio")
+	}
+}
+
+// TestSelRatioEq6 exercises Eq. (6) on a hand-computed example.
+func TestSelRatioEq6(t *testing.T) {
+	disableGuard(t)
+	p := New(10)
+	// Delay bucket 0: 10 cross, 5 matched → sel 0.5.
+	p.RecordInOrder(0, 10, 5)
+	// Delay bucket 2 (delay 15): 10 cross, 1 matched → low-productivity late
+	// tuples.
+	p.RecordInOrder(15, 10, 1)
+	s := p.Snapshot()
+
+	// K = 0 → only bucket 0 counted: (5/10) / (6/20) = 0.5 / 0.3.
+	want := (5.0 / 10.0) * (20.0 / 6.0)
+	if got := s.SelRatio(0); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("SelRatio(0) = %v, want %v", got, want)
+	}
+	// K = 20 covers both buckets → ratio 1.
+	if got := s.SelRatio(20); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("SelRatio(20) = %v, want 1", got)
+	}
+	// K = 10 covers bucket 1 (empty) but not bucket 2 → same as K=0.
+	if got := s.SelRatio(10); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("SelRatio(10) = %v", got)
+	}
+}
+
+// TestSelRatioHighProductivityLateTuples: when delayed tuples are MORE
+// productive (DPcorr), small K must show a ratio < 1, steering the model to
+// larger buffers — the NonEqSel advantage.
+func TestSelRatioHighProductivityLateTuples(t *testing.T) {
+	disableGuard(t)
+	p := New(10)
+	p.RecordInOrder(0, 10, 1)  // punctual tuples barely productive
+	p.RecordInOrder(25, 10, 9) // late tuples highly productive
+	s := p.Snapshot()
+	if r := s.SelRatio(0); r >= 1 {
+		t.Fatalf("SelRatio(0) = %v, want < 1", r)
+	}
+	if r := s.SelRatio(30); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("full-coverage ratio = %v, want 1", r)
+	}
+}
+
+func TestOutOfOrderEstimation(t *testing.T) {
+	disableGuard(t)
+	p := New(10)
+	p.RecordInOrder(0, 4, 2)
+	p.RecordInOrder(0, 8, 3) // interval maxima: cross 8, on 3
+	p.RecordOutOfOrder(35)   // bucket 4: max-charged in M^on/M×, mean-charged in TrueResults
+	s := p.Snapshot()
+	if s.MaxChargedOn() != 2+3+3 {
+		t.Fatalf("MaxChargedOn = %d, want 8", s.MaxChargedOn())
+	}
+	if got, want := s.TrueResults(), 2+3+2.5; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("TrueResults = %v, want %v (mean charge)", got, want)
+	}
+	if got, want := s.TrueCross(), 4+8+6.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("TrueCross = %v, want %v", got, want)
+	}
+	// The charge must land at the out-of-order tuple's delay bucket.
+	if r := s.SelRatio(30); r == 1 {
+		t.Fatal("bucket-4 charge must affect ratios below its delay")
+	}
+	if r := s.SelRatio(40); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("covering the charge must neutralize the ratio, got %v", r)
+	}
+}
+
+func TestResetClearsInterval(t *testing.T) {
+	p := New(10)
+	p.RecordInOrder(0, 5, 5)
+	p.RecordOutOfOrder(10)
+	p.Reset()
+	s := p.Snapshot()
+	if s.TrueResults() != 0 || s.TrueCross() != 0 {
+		t.Fatal("reset must clear the maps")
+	}
+	if p.InOrderCount() != 0 {
+		t.Fatal("reset must clear counters")
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	p := New(10)
+	p.RecordInOrder(0, 10, 5)
+	s := p.Snapshot()
+	p.RecordInOrder(0, 100, 50) // after snapshot
+	if s.TrueResults() != 5 {
+		t.Fatal("snapshot must not observe later records")
+	}
+}
+
+func TestGranularityDefault(t *testing.T) {
+	p := New(0)
+	p.RecordInOrder(3, 1, 1) // must not panic; bucket 3 at g=1
+	s := p.Snapshot()
+	if s.TrueResults() != 1 {
+		t.Fatal("record lost")
+	}
+}

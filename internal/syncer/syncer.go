@@ -1,0 +1,134 @@
+// Package syncer implements the Synchronizer of Alg. 1, which merges the
+// output streams of all K-slack components into a single, mostly
+// timestamp-ordered stream for the join operator.
+//
+// A tuple e with e.ts > T^sync enters the synchronization buffer; whenever
+// the buffer holds at least one tuple from every (still open) stream, the
+// minimum-timestamp tuples are released and T^sync advances. A tuple with
+// e.ts ≤ T^sync is forwarded immediately (lines 9–10), which is why the join
+// operator can still observe out-of-order input.
+//
+// Finite experiment streams additionally need end-of-stream handling: once a
+// stream is closed it no longer gates the release loop, otherwise the last
+// window of every other stream would be withheld forever.
+package syncer
+
+import (
+	"container/heap"
+
+	"repro/internal/stream"
+)
+
+// EmitFunc receives synchronized tuples in release order.
+type EmitFunc func(*stream.Tuple)
+
+// Synchronizer merges m streams per Alg. 1.
+type Synchronizer struct {
+	m      int
+	tsync  stream.Time
+	heap   tupleHeap
+	counts []int // buffered tuples per stream
+	open   []bool
+	nOpen  int
+	emit   EmitFunc
+
+	immediate int64 // tuples forwarded via lines 9–10
+	buffered  int64
+}
+
+// New creates a Synchronizer over m input streams.
+func New(m int, emit EmitFunc) *Synchronizer {
+	s := &Synchronizer{
+		m:      m,
+		counts: make([]int, m),
+		open:   make([]bool, m),
+		nOpen:  m,
+		emit:   emit,
+	}
+	for i := range s.open {
+		s.open[i] = true
+	}
+	return s
+}
+
+// TSync returns the current maximum timestamp among released tuples.
+func (s *Synchronizer) TSync() stream.Time { return s.tsync }
+
+// Len returns the number of buffered tuples.
+func (s *Synchronizer) Len() int { return len(s.heap) }
+
+// Immediate returns how many tuples bypassed the buffer (out-of-order w.r.t.
+// T^sync, forwarded immediately).
+func (s *Synchronizer) Immediate() int64 { return s.immediate }
+
+// Push accepts one tuple from the K-slack component of stream e.Src.
+func (s *Synchronizer) Push(e *stream.Tuple) {
+	if e.TS > s.tsync {
+		heap.Push(&s.heap, e)
+		s.counts[e.Src]++
+		s.buffered++
+		s.drain()
+		return
+	}
+	s.immediate++
+	s.emit(e)
+}
+
+// Close marks stream i as ended. Closed streams no longer gate the release
+// loop; closing the last stream flushes the buffer completely.
+func (s *Synchronizer) Close(i int) {
+	if i < 0 || i >= s.m || !s.open[i] {
+		return
+	}
+	s.open[i] = false
+	s.nOpen--
+	s.drain()
+}
+
+// drain releases tuples while every open stream has at least one buffered
+// tuple: T^sync advances to the minimum buffered timestamp and all tuples at
+// that timestamp are emitted. With no open streams the buffer empties fully.
+func (s *Synchronizer) drain() {
+	for len(s.heap) > 0 && s.ready() {
+		s.tsync = s.heap[0].TS
+		for len(s.heap) > 0 && s.heap[0].TS == s.tsync {
+			e := heap.Pop(&s.heap).(*stream.Tuple)
+			s.counts[e.Src]--
+			s.emit(e)
+		}
+	}
+}
+
+// ready reports whether every open stream has a buffered tuple.
+func (s *Synchronizer) ready() bool {
+	if s.nOpen == 0 {
+		return true
+	}
+	for i, c := range s.counts {
+		if s.open[i] && c == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// tupleHeap is a min-heap on (TS, Seq).
+type tupleHeap []*stream.Tuple
+
+func (h tupleHeap) Len() int { return len(h) }
+func (h tupleHeap) Less(i, j int) bool {
+	if h[i].TS != h[j].TS {
+		return h[i].TS < h[j].TS
+	}
+	return h[i].Seq < h[j].Seq
+}
+func (h tupleHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *tupleHeap) Push(x any)   { *h = append(*h, x.(*stream.Tuple)) }
+func (h *tupleHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,116 @@
+// Package window implements the time-based sliding window maintained by the
+// MSWJ operator for each input stream (Sec. II-A).
+//
+// A window stores the tuples whose timestamps are still within the window
+// scope, keeps them ordered by timestamp for cheap expiration, and maintains
+// hash indexes on the attributes used by equi-join predicates so probing is
+// O(matches) instead of O(window).
+//
+// Out-of-order tuples may be inserted behind the window head (lines 9–10 of
+// Alg. 2), so insertion uses binary search rather than appending.
+package window
+
+import (
+	"sort"
+
+	"repro/internal/stream"
+)
+
+// Window is a time-based sliding window of size W over one input stream.
+type Window struct {
+	size    stream.Time
+	items   []*stream.Tuple // ordered by (TS, Seq)
+	indexes map[int]map[float64][]*stream.Tuple
+}
+
+// New creates a window of the given size with hash indexes on the listed
+// attribute positions.
+func New(size stream.Time, indexedAttrs ...int) *Window {
+	w := &Window{size: size, indexes: map[int]map[float64][]*stream.Tuple{}}
+	for _, a := range indexedAttrs {
+		w.indexes[a] = map[float64][]*stream.Tuple{}
+	}
+	return w
+}
+
+// Size returns the window extent W in time units.
+func (w *Window) Size() stream.Time { return w.size }
+
+// Len returns the number of tuples currently held.
+func (w *Window) Len() int { return len(w.items) }
+
+// All returns the window content ordered by timestamp. The returned slice is
+// the internal storage; callers must not mutate it.
+func (w *Window) All() []*stream.Tuple { return w.items }
+
+// Insert adds a tuple, keeping timestamp order. Duplicate timestamps keep
+// arrival order via Seq.
+func (w *Window) Insert(t *stream.Tuple) {
+	i := sort.Search(len(w.items), func(i int) bool {
+		if w.items[i].TS != t.TS {
+			return w.items[i].TS > t.TS
+		}
+		return w.items[i].Seq > t.Seq
+	})
+	w.items = append(w.items, nil)
+	copy(w.items[i+1:], w.items[i:])
+	w.items[i] = t
+	for attr, idx := range w.indexes {
+		k := t.Attr(attr)
+		idx[k] = append(idx[k], t)
+	}
+}
+
+// Expire removes every tuple with TS < bound (line 6 of Alg. 2, with
+// bound = e.ts − W of the arriving tuple) and returns how many were removed.
+func (w *Window) Expire(bound stream.Time) int {
+	n := sort.Search(len(w.items), func(i int) bool { return w.items[i].TS >= bound })
+	if n == 0 {
+		return 0
+	}
+	for _, t := range w.items[:n] {
+		for attr, idx := range w.indexes {
+			k := t.Attr(attr)
+			lst := idx[k]
+			for j, cand := range lst {
+				if cand == t {
+					lst[j] = lst[len(lst)-1]
+					lst = lst[:len(lst)-1]
+					break
+				}
+			}
+			if len(lst) == 0 {
+				delete(idx, k)
+			} else {
+				idx[k] = lst
+			}
+		}
+	}
+	w.items = append(w.items[:0], w.items[n:]...)
+	return n
+}
+
+// Match returns the tuples whose indexed attribute equals key. It panics if
+// the attribute was not registered at construction time, which is a planning
+// bug rather than a data condition.
+func (w *Window) Match(attr int, key float64) []*stream.Tuple {
+	idx, ok := w.indexes[attr]
+	if !ok {
+		panic("window: probe on unindexed attribute")
+	}
+	return idx[key]
+}
+
+// Indexed reports whether attr has a hash index.
+func (w *Window) Indexed(attr int) bool {
+	_, ok := w.indexes[attr]
+	return ok
+}
+
+// Reset drops all content but keeps the configuration.
+func (w *Window) Reset() {
+	w.items = w.items[:0]
+	for attr := range w.indexes {
+		w.indexes[attr] = map[float64][]*stream.Tuple{}
+	}
+}

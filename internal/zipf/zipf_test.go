@@ -1,0 +1,130 @@
+package zipf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformWhenSkewZero(t *testing.T) {
+	s := New(4, 0)
+	for k := 0; k < 4; k++ {
+		if math.Abs(s.Prob(k)-0.25) > 1e-12 {
+			t.Fatalf("P(%d) = %v, want 0.25", k, s.Prob(k))
+		}
+	}
+}
+
+func TestProbMonotoneNonIncreasing(t *testing.T) {
+	s := New(100, 2.0)
+	for k := 1; k < 100; k++ {
+		if s.Prob(k) > s.Prob(k-1)+1e-15 {
+			t.Fatalf("P(%d)=%v > P(%d)=%v", k, s.Prob(k), k-1, s.Prob(k-1))
+		}
+	}
+}
+
+func TestProbSumsToOne(t *testing.T) {
+	for _, skew := range []float64{0, 0.5, 1, 2.5, 5} {
+		s := New(321, skew)
+		sum := 0.0
+		for k := 0; k < s.N(); k++ {
+			sum += s.Prob(k)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("skew %v: probs sum to %v", skew, sum)
+		}
+	}
+}
+
+func TestSampleWithinDomain(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := New(10, 1.5)
+	for i := 0; i < 10000; i++ {
+		k := s.Sample(rng)
+		if k < 0 || k >= 10 {
+			t.Fatalf("sample %d outside [0,10)", k)
+		}
+	}
+}
+
+func TestEmpiricalMatchesAnalytic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := New(20, 2.0)
+	const n = 200000
+	counts := make([]int, 20)
+	for i := 0; i < n; i++ {
+		counts[s.Sample(rng)]++
+	}
+	for k := 0; k < 20; k++ {
+		want := s.Prob(k)
+		got := float64(counts[k]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("rank %d: empirical %v vs analytic %v", k, got, want)
+		}
+	}
+}
+
+func TestHighSkewConcentratesMass(t *testing.T) {
+	s := New(2001, 3.0)
+	if s.Prob(0) < 0.8 {
+		t.Fatalf("skew 3 over 2001 ranks should put ≥80%% mass on rank 0, got %v", s.Prob(0))
+	}
+}
+
+func TestSingletonDomain(t *testing.T) {
+	s := New(1, 2.0)
+	rng := rand.New(rand.NewSource(3))
+	if s.Sample(rng) != 0 {
+		t.Fatal("singleton domain must always sample 0")
+	}
+	if s.Prob(0) != 1 {
+		t.Fatal("singleton domain must have P(0)=1")
+	}
+}
+
+func TestOutOfRangeProbIsZero(t *testing.T) {
+	s := New(5, 1)
+	if s.Prob(-1) != 0 || s.Prob(5) != 0 {
+		t.Fatal("out-of-range Prob must be 0")
+	}
+}
+
+func TestInvalidArgsPanic(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 1) },
+		func() { New(5, -1) },
+		func() { New(5, math.NaN()) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: CDF implied by Prob is non-decreasing and every sample respects
+// the domain for arbitrary skews.
+func TestSamplerProperty(t *testing.T) {
+	f := func(nRaw uint8, skewRaw uint8, seed int64) bool {
+		n := int(nRaw%64) + 1
+		skew := float64(skewRaw%50) / 10
+		s := New(n, skew)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 50; i++ {
+			k := s.Sample(rng)
+			if k < 0 || k >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

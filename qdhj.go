@@ -1,0 +1,252 @@
+// Package qdhj is a quality-driven disorder handling library for m-way
+// sliding window stream joins (MSWJ), reproducing Ji et al., "Quality-Driven
+// Disorder Handling for M-way Sliding Window Stream Joins", ICDE 2016.
+//
+// An MSWJ over out-of-order, unsynchronized streams faces an inevitable
+// tradeoff between result latency and result quality (recall of join
+// results). This library lets the application state the tradeoff from the
+// quality side: specify a minimum recall Γ over a measurement period P, and
+// the framework continuously sizes its input-sorting buffers as small as the
+// requirement allows.
+//
+// # Quick start
+//
+//	cond := qdhj.EquiChain(2, 0) // S0.attr0 == S1.attr0
+//	j := qdhj.NewJoin(cond, []qdhj.Time{5 * qdhj.Second, 5 * qdhj.Second},
+//		qdhj.Options{Gamma: 0.95},
+//		qdhj.WithResults(func(r qdhj.Result) { fmt.Println(r.Tuples) }),
+//	)
+//	for t := range arrivals {
+//		j.Push(t)
+//	}
+//	j.Close()
+//
+// Timestamps are logical milliseconds assigned at the data sources; the
+// framework is driven entirely by tuple arrival, never by the wall clock.
+package qdhj
+
+import (
+	"repro/internal/adapt"
+	"repro/internal/core"
+	"repro/internal/join"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+// Time is a logical timestamp or duration in milliseconds.
+type Time = stream.Time
+
+// Re-exported logical durations.
+const (
+	Millisecond = stream.Millisecond
+	Second      = stream.Second
+	Minute      = stream.Minute
+)
+
+// Tuple is a stream element; see stream.Tuple for field semantics.
+type Tuple = stream.Tuple
+
+// Result is one join result (one tuple per input stream).
+type Result = stream.Result
+
+// Condition is a conjunctive join condition over m streams.
+type Condition = join.Condition
+
+// Cross returns the always-true condition over m streams (cross join).
+func Cross(m int) *Condition { return join.Cross(m) }
+
+// EquiChain returns S0.attr = S1.attr = … = S(m−1).attr.
+func EquiChain(m, attr int) *Condition { return join.EquiChain(m, attr) }
+
+// Star returns a star equi-join centered on stream 0.
+func Star(m int, centerAttrs, spokeAttrs []int) *Condition {
+	return join.Star(m, centerAttrs, spokeAttrs)
+}
+
+// Strategy selects the selectivity model of the buffer-size adaptation.
+type Strategy = adapt.Strategy
+
+// Selectivity strategies (Sec. IV-B of the paper). NonEqSel learns the
+// delay–productivity correlation at runtime and is the recommended default.
+const (
+	NonEqSel = adapt.NonEqSel
+	EqSel    = adapt.EqSel
+)
+
+// Policy names the buffer-sizing policy of a join.
+type Policy int
+
+// Available policies.
+const (
+	// QualityDriven is the paper's model-based adaptive policy: minimal
+	// buffers honoring the recall requirement Γ.
+	QualityDriven Policy = iota
+	// MaxSlack sizes buffers to the maximum delay observed so far
+	// (state-of-the-art baseline; maximal quality, maximal latency).
+	MaxSlack
+	// NoSlack disables input sorting (minimal latency, degraded quality).
+	NoSlack
+	// StaticSlack applies the fixed buffer size Options.StaticK.
+	StaticSlack
+)
+
+// Options configures the disorder handling of a join. The zero value gives
+// the paper's defaults: quality-driven policy with Γ = 0.95, P = 1 min,
+// L = 1 s, b = g = 10 ms, NonEqSel.
+type Options struct {
+	// Gamma is the required minimum recall γ(P) ∈ [0,1]. 0 means "use the
+	// default 0.95".
+	Gamma float64
+	// Period is the result-quality measurement period P.
+	Period Time
+	// Interval is the adaptation interval L (≤ P).
+	Interval Time
+	// BasicWindow is the model's window segmentation unit b.
+	BasicWindow Time
+	// Granularity is the K-search granularity g.
+	Granularity Time
+	// Strategy selects EqSel or NonEqSel (default NonEqSel).
+	Strategy Strategy
+	// Search selects the Alg. 3 k* search: LinearSearch (the paper) or
+	// BinarySearch (this library's extension of the paper's future work).
+	Search Search
+	// Policy selects the buffer-sizing policy (default QualityDriven).
+	Policy Policy
+	// StaticK is the buffer size used by the StaticSlack policy.
+	StaticK Time
+}
+
+// Search selects the buffer-size search algorithm.
+type Search = adapt.Search
+
+// Search algorithms for the model-based policy.
+const (
+	LinearSearch = adapt.LinearSearch
+	BinarySearch = adapt.BinarySearch
+)
+
+// JoinOption attaches optional sinks and hooks to a join.
+type JoinOption func(*joinOpts)
+
+type joinOpts struct {
+	emit    join.EmitFunc
+	counts  join.CountEmitFunc
+	onAdapt func(AdaptEvent)
+}
+
+// AdaptEvent reports one buffer-size adaptation step.
+type AdaptEvent = core.AdaptEvent
+
+// WithResults registers a callback receiving every produced join result.
+// Registering it disables the operator's counting-only fast path, so omit it
+// when only result counts are needed.
+func WithResults(f func(Result)) JoinOption {
+	return func(o *joinOpts) { o.emit = join.EmitFunc(f) }
+}
+
+// WithResultCounts registers a cheap callback receiving, per in-order
+// arrival, the result timestamp and result count.
+func WithResultCounts(f func(ts Time, n int64)) JoinOption {
+	return func(o *joinOpts) { o.counts = join.CountEmitFunc(f) }
+}
+
+// WithAdaptHook registers a callback observing every adaptation step.
+func WithAdaptHook(f func(AdaptEvent)) JoinOption {
+	return func(o *joinOpts) { o.onAdapt = f }
+}
+
+// Join is an m-way sliding window join with quality-driven disorder
+// handling. It is not safe for concurrent use; feed it from one goroutine or
+// use RunChannel.
+type Join struct {
+	p *core.Pipeline
+}
+
+// NewJoin creates a join over len(windows) streams. windows[i] is the
+// sliding window extent W_i of stream i; cond.M must equal len(windows).
+func NewJoin(cond *Condition, windows []Time, opt Options, jopts ...JoinOption) *Join {
+	var jo joinOpts
+	for _, o := range jopts {
+		o(&jo)
+	}
+	if opt.Gamma == 0 {
+		opt.Gamma = 0.95
+	}
+	acfg := adapt.Config{
+		Gamma:    opt.Gamma,
+		P:        opt.Period,
+		L:        opt.Interval,
+		B:        opt.BasicWindow,
+		G:        opt.Granularity,
+		Strategy: opt.Strategy,
+		Search:   opt.Search,
+	}
+	var pf core.PolicyFactory
+	var initialK Time
+	switch opt.Policy {
+	case MaxSlack:
+		pf = core.MaxKPolicy()
+	case NoSlack:
+		pf = core.NoKPolicy()
+	case StaticSlack:
+		pf = core.StaticPolicy(opt.StaticK)
+		// Apply the static buffer from the first tuple on, not only after
+		// the first adaptation step.
+		initialK = opt.StaticK
+	default:
+		pf = core.ModelPolicy()
+	}
+	cfg := core.Config{
+		InitialK:   initialK,
+		Windows:    windows,
+		Cond:       cond,
+		Adapt:      acfg,
+		Policy:     pf,
+		Emit:       jo.emit,
+		EmitCounts: jo.counts,
+		OnAdapt:    jo.onAdapt,
+	}
+	return &Join{p: core.New(cfg)}
+}
+
+// Push feeds one arriving tuple. Tuples carry their source stream in
+// Tuple.Src and their application timestamp in Tuple.TS.
+func (j *Join) Push(t *Tuple) { j.p.Push(t) }
+
+// Close flushes all buffers at end of input. The join must not be pushed to
+// afterwards.
+func (j *Join) Close() { j.p.Finish() }
+
+// Results returns the number of join results produced so far.
+func (j *Join) Results() int64 { return j.p.Results() }
+
+// CurrentK returns the input-sorting buffer size currently applied; it is
+// the latency bound disorder handling adds to results.
+func (j *Join) CurrentK() Time { return j.p.CurrentK() }
+
+// AvgK returns the average buffer size over all adaptation intervals.
+func (j *Join) AvgK() float64 { return j.p.AvgK() }
+
+// Adaptations returns how many buffer-size adaptation steps have run.
+func (j *Join) Adaptations() int64 { return j.p.Adaptations() }
+
+// RunChannel consumes tuples from in on a dedicated goroutine and delivers
+// results on the returned channel, which closes after the input closes and
+// all buffers have flushed. The join must have been created with no
+// WithResults sink.
+func (j *Join) RunChannel(in <-chan *Tuple) <-chan Result {
+	out := make(chan Result, 256)
+	j.p.SetEmit(func(r Result) { out <- r })
+	go func() {
+		defer close(out)
+		for t := range in {
+			j.p.Push(t)
+		}
+		j.p.Finish()
+	}()
+	return out
+}
+
+// Stats exposes the internal statistics manager for read-only inspection
+// (arrival rates, delay histograms).
+func (j *Join) Stats() *stats.Manager { return j.p.Stats() }

@@ -1,0 +1,204 @@
+package qdhj
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/oracle"
+	"repro/internal/stream"
+)
+
+// feed builds a 2-stream equi workload with some disorder.
+func feed(n int, seed int64) []*Tuple {
+	rng := rand.New(rand.NewSource(seed))
+	var out []*Tuple
+	var seq uint64
+	ts := Time(3000)
+	for i := 0; i < n; i++ {
+		ts += 10
+		for src := 0; src < 2; src++ {
+			t := ts
+			if rng.Intn(4) == 0 {
+				t -= Time(rng.Intn(2000))
+			}
+			out = append(out, &Tuple{TS: t, Seq: seq, Src: src,
+				Attrs: []float64{float64(rng.Intn(10))}})
+			seq++
+		}
+	}
+	return out
+}
+
+func TestJoinPolicies(t *testing.T) {
+	in := feed(3000, 1)
+	w := []Time{Second, Second}
+	truth := oracle.TrueResults(EquiChain(2, 0), []stream.Time{Second, Second}, cloneBatch(in))
+
+	run := func(opt Options) int64 {
+		j := NewJoin(EquiChain(2, 0), w, opt)
+		for _, e := range cloneBatch(in) {
+			j.Push(e)
+		}
+		j.Close()
+		return j.Results()
+	}
+
+	nok := run(Options{Policy: NoSlack})
+	maxk := run(Options{Policy: MaxSlack})
+	model := run(Options{Gamma: 0.9, Period: 10 * Second})
+
+	if nok >= truth.Total() {
+		t.Fatalf("NoSlack should lose results: %d of %d", nok, truth.Total())
+	}
+	if float64(maxk) < 0.97*float64(truth.Total()) {
+		t.Fatalf("MaxSlack should be near-complete: %d of %d", maxk, truth.Total())
+	}
+	if model <= nok || model > maxk {
+		t.Fatalf("quality-driven results %d should lie between NoSlack %d and MaxSlack %d",
+			model, nok, maxk)
+	}
+}
+
+func TestJoinLatencyOrdering(t *testing.T) {
+	in := feed(4000, 2)
+	w := []Time{Second, Second}
+
+	avgK := func(opt Options) float64 {
+		j := NewJoin(EquiChain(2, 0), w, opt)
+		for _, e := range cloneBatch(in) {
+			j.Push(e)
+		}
+		j.Close()
+		return j.AvgK()
+	}
+	low := avgK(Options{Gamma: 0.8, Period: 10 * Second})
+	high := avgK(Options{Gamma: 0.99, Period: 10 * Second})
+	maxk := avgK(Options{Policy: MaxSlack})
+	if !(low <= high && high <= maxk) {
+		t.Fatalf("avg K ordering violated: Γ=0.8→%v, Γ=0.99→%v, MaxSlack→%v", low, high, maxk)
+	}
+}
+
+func TestStaticSlackAppliesImmediately(t *testing.T) {
+	j := NewJoin(EquiChain(2, 0), []Time{Second, Second},
+		Options{Policy: StaticSlack, StaticK: 500})
+	if j.CurrentK() != 500 {
+		t.Fatalf("CurrentK = %v before first adaptation, want 500", j.CurrentK())
+	}
+}
+
+func TestWithResultsSink(t *testing.T) {
+	var got []Result
+	j := NewJoin(EquiChain(2, 0), []Time{Second, Second},
+		Options{Policy: StaticSlack, StaticK: 2 * Second},
+		WithResults(func(r Result) { got = append(got, r) }),
+	)
+	j.Push(&Tuple{TS: 1000, Seq: 0, Src: 0, Attrs: []float64{7}})
+	j.Push(&Tuple{TS: 1100, Seq: 1, Src: 1, Attrs: []float64{7}})
+	j.Close()
+	if len(got) != 1 {
+		t.Fatalf("results = %d, want 1", len(got))
+	}
+	if got[0].TS != 1100 || len(got[0].Tuples) != 2 {
+		t.Fatalf("bad result %+v", got[0])
+	}
+}
+
+func TestWithResultCounts(t *testing.T) {
+	var n int64
+	j := NewJoin(EquiChain(2, 0), []Time{Second, Second},
+		Options{Policy: StaticSlack, StaticK: 2 * Second},
+		WithResultCounts(func(ts Time, c int64) { n += c }),
+	)
+	for _, e := range feed(500, 3) {
+		j.Push(e)
+	}
+	j.Close()
+	if n != j.Results() {
+		t.Fatalf("count sink saw %d, Results() = %d", n, j.Results())
+	}
+	if n == 0 {
+		t.Fatal("degenerate: no results")
+	}
+}
+
+func TestRunChannel(t *testing.T) {
+	j := NewJoin(EquiChain(2, 0), []Time{Second, Second},
+		Options{Policy: StaticSlack, StaticK: 2 * Second})
+	in := make(chan *Tuple, 16)
+	out := j.RunChannel(in)
+	go func() {
+		for _, e := range feed(500, 4) {
+			in <- e
+		}
+		close(in)
+	}()
+	var n int64
+	for range out {
+		n++
+	}
+	if n != j.Results() {
+		t.Fatalf("channel delivered %d, Results() = %d", n, j.Results())
+	}
+	if n == 0 {
+		t.Fatal("degenerate: no results")
+	}
+}
+
+func TestTreeJoinAgreesWithJoin(t *testing.T) {
+	in := feed(1500, 5)
+	w := []Time{Second, Second}
+	maxD, _ := stream.Batch(in).MaxDelay()
+
+	ref := NewJoin(EquiChain(2, 0), w, Options{Policy: StaticSlack, StaticK: maxD})
+	for _, e := range cloneBatch(in) {
+		ref.Push(e)
+	}
+	ref.Close()
+
+	tree := NewTreeJoin(EquiChain(2, 0), w, maxD, nil)
+	for _, e := range cloneBatch(in) {
+		tree.Push(e)
+	}
+	tree.Close()
+
+	if ref.Results() != tree.Results() {
+		t.Fatalf("MJoin %d vs tree %d results", ref.Results(), tree.Results())
+	}
+}
+
+func TestAdaptHookFires(t *testing.T) {
+	var events int
+	j := NewJoin(EquiChain(2, 0), []Time{Second, Second},
+		Options{Gamma: 0.9, Period: 5 * Second, Interval: Second},
+		WithAdaptHook(func(AdaptEvent) { events++ }),
+	)
+	for _, e := range feed(2000, 6) { // spans ~20 s
+		j.Push(e)
+	}
+	j.Close()
+	if events < 10 {
+		t.Fatalf("adapt hook fired %d times, want ≥10", events)
+	}
+	if int64(events) != j.Adaptations() {
+		t.Fatalf("hook count %d != Adaptations() %d", events, j.Adaptations())
+	}
+}
+
+func TestStatsExposed(t *testing.T) {
+	j := NewJoin(EquiChain(2, 0), []Time{Second, Second}, Options{})
+	j.Push(&Tuple{TS: 1000, Src: 0})
+	j.Push(&Tuple{TS: 900, Src: 0})
+	if j.Stats().MaxDelayAllTime() != 100 {
+		t.Fatalf("stats max delay = %v", j.Stats().MaxDelayAllTime())
+	}
+}
+
+func cloneBatch(in []*Tuple) []*Tuple {
+	out := make([]*Tuple, len(in))
+	for i, e := range in {
+		cp := *e
+		out[i] = &cp
+	}
+	return out
+}

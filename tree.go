@@ -1,0 +1,83 @@
+package qdhj
+
+import (
+	"repro/internal/dist"
+)
+
+// TreeJoin is an m-way join executed as a left-deep tree of binary join
+// operators, each fronted by its own Synchronizer — the distributed MSWJ
+// deployment shape of Sec. V of the paper. It shares the join condition
+// model and the Same-K disorder handling with Join, but trades the single
+// MJoin-style operator for composable binary stages.
+type TreeJoin struct {
+	t *dist.Tree
+}
+
+// TreeResult is one result of a TreeJoin: the constituent tuples in stream
+// order, the result timestamp, and the delay annotation of the tuple whose
+// arrival produced it.
+type TreeResult struct {
+	TS     Time
+	Delay  Time
+	Tuples []*Tuple
+}
+
+// NewTreeJoin creates the binary-tree join with a fixed common buffer size
+// k on every input stream.
+func NewTreeJoin(cond *Condition, windows []Time, k Time, emit func(TreeResult)) *TreeJoin {
+	var sink func(dist.Partial)
+	if emit != nil {
+		sink = func(p dist.Partial) {
+			emit(TreeResult{TS: p.TS, Delay: p.Delay, Tuples: p.Parts})
+		}
+	}
+	return &TreeJoin{t: dist.NewTree(cond, windows, k, sink)}
+}
+
+// Push feeds a raw arrival.
+func (j *TreeJoin) Push(t *Tuple) { j.t.Push(t) }
+
+// SetK changes the common buffer size on all streams (Same-K policy).
+func (j *TreeJoin) SetK(k Time) { j.t.SetK(k) }
+
+// Close flushes all buffers at end of input.
+func (j *TreeJoin) Close() { j.t.Finish() }
+
+// Results returns the number of results produced so far.
+func (j *TreeJoin) Results() int64 { return j.t.Results() }
+
+// Operators returns the number of binary join operators in the tree.
+func (j *TreeJoin) Operators() int { return j.t.Operators() }
+
+// PipelinedTreeJoin runs the same binary tree with one goroutine per
+// operator, connected by channels.
+type PipelinedTreeJoin struct {
+	p *dist.Pipelined
+}
+
+// NewPipelinedTreeJoin creates the pipelined variant with channel buffers of
+// the given size (≤0 selects a default).
+func NewPipelinedTreeJoin(cond *Condition, windows []Time, k Time, buffer int) *PipelinedTreeJoin {
+	return &PipelinedTreeJoin{p: dist.NewPipelined(cond, windows, k, buffer)}
+}
+
+// Push feeds a raw arrival from the single producer goroutine.
+func (j *PipelinedTreeJoin) Push(t *Tuple) { j.p.Push(t) }
+
+// Close signals end of input.
+func (j *PipelinedTreeJoin) Close() { j.p.Close() }
+
+// Results returns the result channel; drain it until it closes.
+func (j *PipelinedTreeJoin) Results() <-chan TreeResult {
+	out := make(chan TreeResult, 64)
+	go func() {
+		defer close(out)
+		for p := range j.p.Results() {
+			out <- TreeResult{TS: p.TS, Delay: p.Delay, Tuples: p.Parts}
+		}
+	}()
+	return out
+}
+
+// Wait blocks until all pipeline stages exit; call after draining Results.
+func (j *PipelinedTreeJoin) Wait() { j.p.Wait() }
