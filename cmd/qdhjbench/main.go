@@ -9,24 +9,35 @@
 // Experiments: fig6, table2, fig7, fig8, fig9, fig10, fig11, ablations, all.
 // Durations default to 5 simulated minutes per dataset; the paper used
 // 23–30 minutes, which `-minutes 25` replays in a few minutes of real time.
+//
+// With -benchjson FILE the tool instead measures raw operator throughput
+// (the join executor without disorder handling) per dataset and writes a
+// machine-readable JSON report, so the repository's performance trajectory
+// can be recorded across PRs:
+//
+//	qdhjbench -benchjson BENCH_1.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
+	qdhj "repro"
 	"repro/internal/exp"
 )
 
 func main() {
 	var (
-		expName  = flag.String("exp", "all", "experiment: fig6|table2|fig7|fig8|fig9|fig10|fig11|ablations|all")
-		minutes  = flag.Float64("minutes", 5, "simulated stream horizon per dataset (paper: 23-30)")
-		seed     = flag.Int64("seed", 42, "generator seed")
-		datasets = flag.String("datasets", "x2,x3,x4", "comma-separated dataset keys")
+		expName   = flag.String("exp", "all", "experiment: fig6|table2|fig7|fig8|fig9|fig10|fig11|ablations|all")
+		minutes   = flag.Float64("minutes", 5, "simulated stream horizon per dataset (paper: 23-30)")
+		seed      = flag.Int64("seed", 42, "generator seed")
+		datasets  = flag.String("datasets", "x2,x3,x4", "comma-separated dataset keys")
+		benchJSON = flag.String("benchjson", "", "write an operator-throughput JSON report to this file and exit")
 	)
 	flag.Parse()
 
@@ -42,6 +53,15 @@ func main() {
 		dss = append(dss, exp.Prepare(k, *minutes, *seed))
 	}
 	fmt.Fprintf(os.Stderr, "datasets ready in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON, *minutes, *seed, dss); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s in %v\n", *benchJSON, time.Since(start).Round(time.Millisecond))
+		return
+	}
 
 	w := os.Stdout
 	run := func(name string) {
@@ -76,6 +96,72 @@ func main() {
 		run(*expName)
 	}
 	fmt.Fprintf(os.Stderr, "total wall time %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// benchEntry is one dataset's throughput measurement.
+type benchEntry struct {
+	Dataset        string  `json:"dataset"`
+	Tuples         int     `json:"tuples"`
+	Results        int64   `json:"results"`
+	Seconds        float64 `json:"seconds"`
+	TuplesPerSec   float64 `json:"tuples_per_s"`
+	AllocsPerTuple float64 `json:"allocs_per_tuple"`
+	BytesPerTuple  float64 `json:"bytes_per_tuple"`
+}
+
+// benchReport is the machine-readable throughput record.
+type benchReport struct {
+	Schema    string       `json:"schema"`
+	GoVersion string       `json:"go_version"`
+	GOOS      string       `json:"goos"`
+	GOARCH    string       `json:"goarch"`
+	Minutes   float64      `json:"minutes"`
+	Seed      int64        `json:"seed"`
+	Entries   []benchEntry `json:"entries"`
+}
+
+// runBenchJSON measures raw MSWJ operator throughput (NoSlack policy,
+// counting-only probe path) on each dataset and writes the JSON report.
+func runBenchJSON(path string, minutes float64, seed int64, dss []*exp.Dataset) error {
+	rep := benchReport{
+		Schema:    "qdhj-operator-throughput/1",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Minutes:   minutes,
+		Seed:      seed,
+	}
+	for _, ds := range dss {
+		in := ds.Arrivals.Clone()
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		t0 := time.Now()
+		j := qdhj.NewJoin(ds.Cond, ds.Windows, qdhj.Options{Policy: qdhj.NoSlack})
+		for _, e := range in {
+			j.Push(e)
+		}
+		j.Close()
+		dt := time.Since(t0).Seconds()
+		runtime.ReadMemStats(&m1)
+		n := len(in)
+		rep.Entries = append(rep.Entries, benchEntry{
+			Dataset:        ds.Name,
+			Tuples:         n,
+			Results:        j.Results(),
+			Seconds:        dt,
+			TuplesPerSec:   float64(n) / dt,
+			AllocsPerTuple: float64(m1.Mallocs-m0.Mallocs) / float64(n),
+			BytesPerTuple:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(n),
+		})
+		fmt.Fprintf(os.Stderr, "%-22s %9d tuples  %12.0f tuples/s  %6.2f allocs/tuple\n",
+			ds.Name, n, float64(n)/dt, float64(m1.Mallocs-m0.Mallocs)/float64(n))
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 // pick filters datasets to the given keys (Fig. 8–10 use x2 and x3, as the

@@ -22,10 +22,34 @@ type bucket struct {
 	size  float64
 }
 
-// row is one capacity class of the exponential histogram. Newer buckets are
-// appended at the end.
+// row is one capacity class of the exponential histogram: a fixed-size ring
+// of at most maxBucketsPerRow+1 buckets (the +1 absorbs the transient
+// overflow before a merge). A ring rather than a slice keeps insertion
+// allocation-free: the old slice layout advanced its start on every merge,
+// bleeding capacity and reallocating about once per element.
 type row struct {
-	buckets []bucket
+	buf  [maxBucketsPerRow + 1]bucket
+	head int
+	n    int
+}
+
+// push appends a bucket at the newest end.
+func (r *row) push(b bucket) {
+	r.buf[(r.head+r.n)%len(r.buf)] = b
+	r.n++
+}
+
+// pop removes and returns the oldest bucket.
+func (r *row) pop() bucket {
+	b := r.buf[r.head]
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return b
+}
+
+// at returns the i-th oldest bucket.
+func (r *row) at(i int) bucket {
+	return r.buf[(r.head+i)%len(r.buf)]
 }
 
 // Window is an ADWIN sliding window over a real-valued stream.
@@ -83,22 +107,22 @@ func (w *Window) insert(x float64) {
 	if len(w.rows) == 0 {
 		w.rows = append(w.rows, row{})
 	}
-	w.rows[0].buckets = append(w.rows[0].buckets, bucket{sum: x, sumSq: x * x, size: 1})
+	w.rows[0].push(bucket{sum: x, sumSq: x * x, size: 1})
 	w.total++
 	w.sum += x
 	w.sumSq += x * x
 	for i := 0; i < len(w.rows); i++ {
-		if len(w.rows[i].buckets) <= maxBucketsPerRow {
+		if w.rows[i].n <= maxBucketsPerRow {
 			break
 		}
 		// Merge the two oldest buckets of this row into one bucket of the
 		// next row.
-		b0, b1 := w.rows[i].buckets[0], w.rows[i].buckets[1]
-		w.rows[i].buckets = w.rows[i].buckets[2:]
+		b0 := w.rows[i].pop()
+		b1 := w.rows[i].pop()
 		if i+1 == len(w.rows) {
 			w.rows = append(w.rows, row{})
 		}
-		w.rows[i+1].buckets = append(w.rows[i+1].buckets, bucket{
+		w.rows[i+1].push(bucket{
 			sum:   b0.sum + b1.sum,
 			sumSq: b0.sumSq + b1.sumSq,
 			size:  b0.size + b1.size,
@@ -125,20 +149,25 @@ func (w *Window) dropOnce() bool {
 	if w.total < float64(w.minLength) {
 		return false
 	}
+	// The significance threshold's variance and confidence terms depend only
+	// on whole-window state, so hoist them out of the boundary scan.
+	v := w.variance()
+	dd := math.Log(2 * math.Log(math.Max(w.total, math.E)) / w.delta)
 	// Walk from the oldest bucket towards the newest, maintaining the tail
 	// aggregate (n0, s0); head aggregate is the complement.
 	n0, s0 := 0.0, 0.0
 	cut := false
 	// Oldest buckets live in the highest row, at the front of that row.
 	for i := len(w.rows) - 1; i >= 0 && !cut; i-- {
-		for _, b := range w.rows[i].buckets {
+		for j := 0; j < w.rows[i].n; j++ {
+			b := w.rows[i].at(j)
 			n0 += b.size
 			s0 += b.sum
 			n1 := w.total - n0
 			if n0 < 1 || n1 < 1 {
 				continue
 			}
-			if w.cutViolated(n0, s0, n1, w.sum-s0) {
+			if w.cutViolated(n0, s0, n1, w.sum-s0, v, dd) {
 				cut = true
 				break
 			}
@@ -157,12 +186,13 @@ func (w *Window) dropOnce() bool {
 // window variance v and confidence δ′ = δ / ln(n),
 //
 //	ε = sqrt((2/m)·v·ln(2/δ′)) + (2/(3m))·ln(2/δ′).
-func (w *Window) cutViolated(n0, s0, n1, s1 float64) bool {
+//
+// v and dd are the whole-window variance and ln(2/δ′) term, precomputed by
+// the caller once per scan.
+func (w *Window) cutViolated(n0, s0, n1, s1, v, dd float64) bool {
 	mean0 := s0 / n0
 	mean1 := s1 / n1
 	m := 1 / (1/n0 + 1/n1)
-	v := w.variance()
-	dd := math.Log(2 * math.Log(math.Max(w.total, math.E)) / w.delta)
 	eps := math.Sqrt(2/m*v*dd) + 2/(3*m)*dd
 	return math.Abs(mean0-mean1) > eps
 }
@@ -184,16 +214,15 @@ func (w *Window) variance() float64 {
 func (w *Window) dropOldestBucket() {
 	for i := len(w.rows) - 1; i >= 0; i-- {
 		r := &w.rows[i]
-		if len(r.buckets) == 0 {
+		if r.n == 0 {
 			continue
 		}
-		b := r.buckets[0]
-		r.buckets = r.buckets[1:]
+		b := r.pop()
 		w.total -= b.size
 		w.sum -= b.sum
 		w.sumSq -= b.sumSq
 		// Trim empty high rows so future scans stay short.
-		for len(w.rows) > 1 && len(w.rows[len(w.rows)-1].buckets) == 0 {
+		for len(w.rows) > 1 && w.rows[len(w.rows)-1].n == 0 {
 			w.rows = w.rows[:len(w.rows)-1]
 		}
 		return

@@ -1,0 +1,575 @@
+// Package dist executes an m-way MSWJ as a left-deep tree of binary join
+// operators — the distributed deployment shape of Sec. V of the paper. Each
+// binary stage is fronted by its own Synchronizer and applies the Same-K
+// disorder handling: every raw input stream passes through a K-slack buffer
+// with the common buffer size K before entering its stage.
+//
+// Stage j joins the partial results over streams [0..j] (its left input)
+// with raw stream j+1 (its right input). A partial result carries, besides
+// the constituent tuples, an expiration deadline
+//
+//	D = min_i (e_i.ts + W_i)
+//
+// — the logical time at which its earliest constituent falls out of its
+// window. Expiring and probing by D rather than by the partial's (maximum)
+// timestamp makes the tree produce exactly the results of the single
+// MJoin-style operator whenever the buffers cover the input disorder: a
+// partial is matchable precisely while every constituent is still inside
+// its own window.
+//
+// Both a synchronous driver (Tree) and a pipelined one (Pipelined, one
+// goroutine per stage connected by channels) are provided. They process
+// stage inputs in identical order — the pipelined variant forwards raw
+// tuples for later stages through the stage chain instead of routing them
+// directly — so both produce identical results.
+package dist
+
+import (
+	"sync"
+
+	"repro/internal/join"
+	"repro/internal/kslack"
+	"repro/internal/pq"
+	"repro/internal/stream"
+)
+
+// Partial is a (possibly complete) join result over streams [0..len(Parts)-1].
+// TS is the maximum constituent timestamp (the MSWJ result timestamp) and
+// Delay the delay annotation of the arrival that produced it.
+type Partial struct {
+	TS    stream.Time
+	Delay stream.Time
+	Parts []*stream.Tuple
+}
+
+// event is one unit of stage input: either a raw tuple (right != nil) or a
+// partial from the upstream stage (parts != nil).
+type event struct {
+	ts       stream.Time
+	deadline stream.Time // min_i (e_i.ts + W_i) over constituents
+	delay    stream.Time
+	ord      uint64 // stage-local arrival order, breaks timestamp ties
+	key      float64
+	right    *stream.Tuple
+	parts    []*stream.Tuple
+}
+
+// pairLookup is one equi-predicate between a bound stream and the stage's
+// right stream.
+type pairLookup struct {
+	leftStream, leftAttr int
+	rightAttr            int
+}
+
+const (
+	sideLeft  = 0
+	sideRight = 1
+)
+
+// stage is one binary join operator with its Synchronizer and the K-slack
+// buffer(s) of its raw input(s).
+type stage struct {
+	rightSrc int // stream index of the right input; the stage joins [0..rightSrc-1] with it
+	windows  []stream.Time
+	cond     *join.Condition
+	lookups  []pairLookup
+	checks   []int // Condition.Generics fully bound at this stage
+
+	ksLeft  *kslack.Buffer // stage 0 only (raw stream 0)
+	ksRight *kslack.Buffer // raw stream rightSrc
+
+	// Synchronizer state (Alg. 1, m = 2).
+	tsync  stream.Time
+	buf    pq.Heap[*event]
+	counts [2]int
+	open   [2]bool
+	ord    uint64
+
+	// Binary join state.
+	onT    stream.Time
+	left   *pwindow
+	right  *pwindow
+	assign []*stream.Tuple
+
+	next    func(*event)  // nil on the last stage
+	sink    func(Partial) // last stage only; may be nil
+	results *int64
+}
+
+func eventLess(a, b *event) bool {
+	if a.ts != b.ts {
+		return a.ts < b.ts
+	}
+	return a.ord < b.ord
+}
+
+func newStage(cond *join.Condition, windows []stream.Time, k stream.Time, rightSrc int) *stage {
+	s := &stage{
+		rightSrc: rightSrc,
+		windows:  windows,
+		cond:     cond,
+		buf:      pq.New(eventLess),
+		open:     [2]bool{true, true},
+		assign:   make([]*stream.Tuple, cond.M),
+	}
+	for _, e := range cond.Equis {
+		ls, la, rs, ra := e.LeftStream, e.LeftAttr, e.RightStream, e.RightAttr
+		if rs == rightSrc && ls < rightSrc {
+			s.lookups = append(s.lookups, pairLookup{ls, la, ra})
+		} else if ls == rightSrc && rs < rightSrc {
+			s.lookups = append(s.lookups, pairLookup{rs, ra, la})
+		}
+	}
+	for gi, g := range cond.Generics {
+		maxStream := 0
+		for _, gs := range g.Streams {
+			if gs > maxStream {
+				maxStream = gs
+			}
+		}
+		if maxStream < 1 {
+			maxStream = 1 // single-stream predicates over stream 0 run at stage 0
+		}
+		if maxStream == rightSrc {
+			s.checks = append(s.checks, gi)
+		}
+	}
+	indexed := len(s.lookups) > 0
+	s.left = newPwindow(indexed)
+	s.right = newPwindow(indexed)
+	s.ksRight = kslack.New(k, func(t *stream.Tuple) {
+		s.syncPush(s.rightEvent(t), sideRight)
+	})
+	if rightSrc == 1 {
+		s.ksLeft = kslack.New(k, func(t *stream.Tuple) {
+			s.syncPush(s.leafEvent(t), sideLeft)
+		})
+	}
+	return s
+}
+
+// rightEvent wraps a post-K-slack raw tuple of the right stream.
+func (s *stage) rightEvent(t *stream.Tuple) *event {
+	ev := &event{ts: t.TS, deadline: t.TS + s.windows[s.rightSrc], delay: t.Delay, right: t}
+	if len(s.lookups) > 0 {
+		ev.key = t.Attr(s.lookups[0].rightAttr)
+	}
+	return ev
+}
+
+// leafEvent wraps a post-K-slack raw tuple of stream 0 as a 1-way partial
+// (stage 0's left input).
+func (s *stage) leafEvent(t *stream.Tuple) *event {
+	ev := &event{
+		ts: t.TS, deadline: t.TS + s.windows[0], delay: t.Delay,
+		parts: []*stream.Tuple{t},
+	}
+	if len(s.lookups) > 0 {
+		l0 := s.lookups[0]
+		ev.key = ev.parts[l0.leftStream].Attr(l0.leftAttr)
+	}
+	return ev
+}
+
+// receive accepts one input in arrival order: a raw tuple (routed to this
+// stage's K-slack or forwarded downstream) or an upstream partial.
+func (s *stage) receive(ev *event) {
+	if ev.parts != nil {
+		if len(s.lookups) > 0 {
+			l0 := s.lookups[0]
+			ev.key = ev.parts[l0.leftStream].Attr(l0.leftAttr)
+		}
+		s.syncPush(ev, sideLeft)
+		return
+	}
+	t := ev.right
+	switch {
+	case t.Src == s.rightSrc:
+		s.ksRight.Push(t)
+	case t.Src < s.rightSrc && s.ksLeft != nil:
+		s.ksLeft.Push(t)
+	default:
+		s.next(ev) // raw tuple for a later stage
+	}
+}
+
+// syncPush is the per-stage Synchronizer (Alg. 1 with m = 2): buffer tuples
+// ahead of T^sync, forward late ones immediately.
+func (s *stage) syncPush(ev *event, side int) {
+	ev.ord = s.ord
+	s.ord++
+	if ev.ts > s.tsync {
+		s.buf.Push(ev)
+		s.counts[side]++
+		s.drain()
+		return
+	}
+	s.process(ev)
+}
+
+func (s *stage) drain() {
+	for s.buf.Len() > 0 && s.ready() {
+		s.tsync = s.buf.Peek().ts
+		for s.buf.Len() > 0 && s.buf.Peek().ts == s.tsync {
+			ev := s.buf.Pop()
+			s.counts[s.side(ev)]--
+			s.process(ev)
+		}
+	}
+}
+
+func (s *stage) side(ev *event) int {
+	if ev.right != nil {
+		return sideRight
+	}
+	return sideLeft
+}
+
+func (s *stage) ready() bool {
+	for i := 0; i < 2; i++ {
+		if s.open[i] && s.counts[i] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// closeSide marks one input as ended; closed sides no longer gate the
+// release loop.
+func (s *stage) closeSide(side int) {
+	if !s.open[side] {
+		return
+	}
+	s.open[side] = false
+	s.drain()
+}
+
+// finish ends the stage's inputs: flush the K-slack buffer(s), then close
+// both Synchronizer sides. Upstream must already have finished so every
+// partial has arrived.
+func (s *stage) finish() {
+	if s.ksLeft != nil {
+		s.ksLeft.Flush()
+	}
+	s.ksRight.Flush()
+	s.closeSide(sideLeft)
+	s.closeSide(sideRight)
+}
+
+// process is the binary Alg. 2 step on one synchronized event.
+func (s *stage) process(ev *event) {
+	if ev.ts >= s.onT {
+		s.onT = ev.ts
+		if ev.right != nil {
+			s.left.expire(ev.ts)
+			s.probeLeft(ev)
+			s.right.insert(ev)
+		} else {
+			s.right.expire(ev.ts)
+			s.probeRight(ev)
+			s.left.insert(ev)
+		}
+		return
+	}
+	// Out-of-order w.r.t. this stage: no probing (lines 9–10 of Alg. 2);
+	// keep the event only while it can still contribute to future results.
+	if ev.deadline > s.onT {
+		if ev.right != nil {
+			s.right.insert(ev)
+		} else {
+			s.left.insert(ev)
+		}
+	}
+}
+
+// probeLeft joins an arriving right tuple against the buffered partials.
+func (s *stage) probeLeft(ev *event) {
+	for _, cand := range s.left.candidates(ev.key) {
+		if cand.deadline < ev.ts {
+			continue // stale entry awaiting expiration (cross-join scan path)
+		}
+		if s.matches(cand, ev.right) {
+			s.emit(cand, ev.right, ev)
+		}
+	}
+}
+
+// probeRight joins an arriving partial against the buffered right tuples.
+func (s *stage) probeRight(ev *event) {
+	for _, cand := range s.right.candidates(ev.key) {
+		if cand.deadline < ev.ts {
+			continue
+		}
+		if s.matches(ev, cand.right) {
+			s.emit(ev, cand.right, ev)
+		}
+	}
+}
+
+// matches checks the remaining equi-lookups and the generic predicates that
+// became fully bound at this stage.
+func (s *stage) matches(left *event, r *stream.Tuple) bool {
+	for _, l := range s.lookups[min(1, len(s.lookups)):] {
+		if left.parts[l.leftStream].Attr(l.leftAttr) != r.Attr(l.rightAttr) {
+			return false
+		}
+	}
+	if len(s.checks) == 0 {
+		return true
+	}
+	for i := range s.assign {
+		s.assign[i] = nil
+	}
+	copy(s.assign, left.parts)
+	s.assign[s.rightSrc] = r
+	for _, gi := range s.checks {
+		if !s.cond.Generics[gi].Eval(s.assign) {
+			return false
+		}
+	}
+	return true
+}
+
+// emit materializes the combined partial and hands it downstream (or to the
+// sink when the join is complete).
+func (s *stage) emit(left *event, r *stream.Tuple, arriving *event) {
+	parts := make([]*stream.Tuple, len(left.parts)+1)
+	copy(parts, left.parts)
+	parts[s.rightSrc] = r
+	ts := left.ts
+	if r.TS > ts {
+		ts = r.TS
+	}
+	deadline := left.deadline
+	if d := r.TS + s.windows[s.rightSrc]; d < deadline {
+		deadline = d
+	}
+	out := &event{ts: ts, deadline: deadline, delay: arriving.delay, parts: parts}
+	if s.next != nil {
+		s.next(out)
+		return
+	}
+	*s.results++
+	if s.sink != nil {
+		s.sink(Partial{TS: ts, Delay: arriving.delay, Parts: parts})
+	}
+}
+
+// pwindow holds the live entries of one stage input: a 4-ary heap ordered by
+// expiration deadline (so expiry pops are O(log n) with no scanning) plus,
+// for equi stages, a hash index with swap-delete on the first lookup key.
+type pwindow struct {
+	indexed bool
+	heap    pq.Heap[*event]
+	buckets map[float64][]*event
+	pos     map[*event]int
+}
+
+func newPwindow(indexed bool) *pwindow {
+	w := &pwindow{
+		indexed: indexed,
+		heap:    pq.New(func(a, b *event) bool { return a.deadline < b.deadline }),
+	}
+	if indexed {
+		w.buckets = map[float64][]*event{}
+		w.pos = map[*event]int{}
+	}
+	return w
+}
+
+func (w *pwindow) insert(ev *event) {
+	w.heap.Push(ev)
+	// A NaN key can never equi-match (and would be unreachable as a map
+	// key), so such entries stay out of the index entirely.
+	if w.indexed && ev.key == ev.key {
+		b, ok := w.buckets[ev.key]
+		if !ok {
+			b = make([]*event, 0, 4)
+		}
+		w.pos[ev] = len(b)
+		w.buckets[ev.key] = append(b, ev)
+	}
+}
+
+// expire removes every entry whose deadline passed: its earliest constituent
+// is no longer inside its window at time t.
+func (w *pwindow) expire(t stream.Time) {
+	for w.heap.Len() > 0 && w.heap.Peek().deadline < t {
+		ev := w.heap.Pop()
+		if w.indexed && ev.key == ev.key {
+			w.remove(ev)
+		}
+	}
+}
+
+func (w *pwindow) remove(ev *event) {
+	b := w.buckets[ev.key]
+	p := w.pos[ev]
+	last := len(b) - 1
+	if p != last {
+		moved := b[last]
+		b[p] = moved
+		w.pos[moved] = p
+	}
+	b[last] = nil
+	delete(w.pos, ev)
+	if last == 0 {
+		delete(w.buckets, ev.key)
+	} else {
+		w.buckets[ev.key] = b[:last]
+	}
+}
+
+// candidates returns the entries that can match key: the hash bucket on equi
+// stages, every live entry otherwise (heap order; callers re-check the
+// deadline).
+func (w *pwindow) candidates(key float64) []*event {
+	if w.indexed {
+		return w.buckets[key]
+	}
+	return w.heap.Items()
+}
+
+// Tree is the synchronous left-deep tree driver.
+type Tree struct {
+	stages  []*stage
+	results int64
+}
+
+// NewTree builds the tree for cond over len(windows) streams with the common
+// buffer size k on every raw input. sink (optional) receives every complete
+// result.
+func NewTree(cond *join.Condition, windows []stream.Time, k stream.Time, sink func(Partial)) *Tree {
+	if len(windows) != cond.M {
+		panic("dist: window count must match condition arity")
+	}
+	if cond.M < 2 {
+		panic("dist: need at least 2 streams")
+	}
+	t := &Tree{}
+	t.stages = buildStages(cond, windows, k, sink, &t.results, nil)
+	return t
+}
+
+// buildStages wires the chain. nextFns, when non-nil, overrides the
+// stage→stage hand-off (used by Pipelined to insert channels).
+func buildStages(cond *join.Condition, windows []stream.Time, k stream.Time,
+	sink func(Partial), results *int64, nextFns []func(*event)) []*stage {
+	n := cond.M - 1
+	stages := make([]*stage, n)
+	for j := 0; j < n; j++ {
+		stages[j] = newStage(cond, windows, k, j+1)
+	}
+	for j := 0; j < n-1; j++ {
+		if nextFns != nil {
+			stages[j].next = nextFns[j]
+		} else {
+			next := stages[j+1]
+			stages[j].next = next.receive
+		}
+	}
+	last := stages[n-1]
+	last.sink = sink
+	last.results = results
+	return stages
+}
+
+// Push feeds one raw arrival.
+func (t *Tree) Push(e *stream.Tuple) {
+	t.stages[0].receive(&event{right: e})
+}
+
+// SetK applies the common buffer size k to every raw input (Same-K).
+func (t *Tree) SetK(k stream.Time) {
+	for _, s := range t.stages {
+		if s.ksLeft != nil {
+			s.ksLeft.SetK(k)
+		}
+		s.ksRight.SetK(k)
+	}
+}
+
+// Finish flushes every buffer stage by stage; afterwards all results have
+// been emitted.
+func (t *Tree) Finish() {
+	for _, s := range t.stages {
+		s.finish()
+	}
+}
+
+// Results returns the number of complete results produced so far.
+func (t *Tree) Results() int64 { return t.results }
+
+// Operators returns the number of binary join operators (m − 1).
+func (t *Tree) Operators() int { return len(t.stages) }
+
+// Pipelined runs the same stage chain with one goroutine per stage. Raw
+// tuples for later stages travel through the chain interleaved with the
+// partials, so every stage observes exactly the input order of the
+// synchronous Tree and both produce identical results.
+type Pipelined struct {
+	stages []*stage
+	in     chan *event
+	out    chan Partial
+	wg     sync.WaitGroup
+	result int64
+}
+
+// NewPipelined builds the pipelined tree; buffer sizes the inter-stage
+// channels (≤ 0 selects a default).
+func NewPipelined(cond *join.Condition, windows []stream.Time, k stream.Time, buffer int) *Pipelined {
+	if buffer <= 0 {
+		buffer = 256
+	}
+	p := &Pipelined{out: make(chan Partial, buffer)}
+	n := cond.M - 1
+	chans := make([]chan *event, n)
+	for j := range chans {
+		chans[j] = make(chan *event, buffer)
+	}
+	nextFns := make([]func(*event), n-1)
+	for j := 0; j < n-1; j++ {
+		ch := chans[j+1]
+		nextFns[j] = func(ev *event) { ch <- ev }
+	}
+	p.stages = buildStages(cond, windows, k, func(r Partial) { p.out <- r }, &p.result, nextFns)
+	p.in = chans[0]
+	for j, s := range p.stages {
+		s := s
+		var down chan *event
+		if j+1 < n {
+			down = chans[j+1]
+		}
+		in := chans[j]
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for ev := range in {
+				s.receive(ev)
+			}
+			s.finish()
+			if down != nil {
+				close(down)
+			} else {
+				close(p.out)
+			}
+		}()
+	}
+	return p
+}
+
+// Push feeds one raw arrival from the single producer goroutine.
+func (p *Pipelined) Push(e *stream.Tuple) {
+	p.in <- &event{right: e}
+}
+
+// Close signals end of input; results keep flowing until the Results channel
+// closes.
+func (p *Pipelined) Close() { close(p.in) }
+
+// Results returns the channel of complete results; drain it until it closes.
+func (p *Pipelined) Results() <-chan Partial { return p.out }
+
+// Wait blocks until every stage goroutine has exited; call after draining
+// Results.
+func (p *Pipelined) Wait() { p.wg.Wait() }

@@ -1,0 +1,252 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/join"
+	"repro/internal/kslack"
+	"repro/internal/stream"
+	"repro/internal/syncer"
+)
+
+// workload builds an m-stream equi feed with bounded disorder.
+func workload(m, rounds int, seed int64, domain int) stream.Batch {
+	rng := rand.New(rand.NewSource(seed))
+	var out stream.Batch
+	var seq uint64
+	ts := stream.Time(3000)
+	for i := 0; i < rounds; i++ {
+		ts += 10
+		for src := 0; src < m; src++ {
+			t := ts
+			if rng.Intn(4) == 0 {
+				t -= stream.Time(rng.Intn(2000))
+			}
+			out = append(out, &stream.Tuple{TS: t, Seq: seq, Src: src,
+				Attrs: []float64{float64(rng.Intn(domain)), float64(rng.Intn(100))}})
+			seq++
+		}
+	}
+	return out
+}
+
+// mjoinResults runs the reference single-operator MJoin with per-stream
+// K-slack buffers of size k and a shared Synchronizer, mirroring the
+// monolithic pipeline.
+func mjoinResults(cond *join.Condition, windows []stream.Time, k stream.Time, in stream.Batch) int64 {
+	op := join.New(cond, windows)
+	sy := syncer.New(cond.M, op.Process)
+	ks := make([]*kslack.Buffer, cond.M)
+	for i := range ks {
+		ks[i] = kslack.New(k, sy.Push)
+	}
+	for _, e := range in {
+		ks[e.Src].Push(e)
+	}
+	for _, b := range ks {
+		b.Flush()
+	}
+	for i := 0; i < cond.M; i++ {
+		sy.Close(i)
+	}
+	return op.Results()
+}
+
+func clone(in stream.Batch) stream.Batch { return in.Clone() }
+
+func TestTreeAgreesWithMJoin2Way(t *testing.T) {
+	in := workload(2, 2000, 1, 10)
+	maxD, _ := in.MaxDelay()
+	cond := join.EquiChain(2, 0)
+	w := []stream.Time{stream.Second, stream.Second}
+
+	want := mjoinResults(cond, w, maxD, clone(in))
+	tree := NewTree(join.EquiChain(2, 0), w, maxD, nil)
+	for _, e := range clone(in) {
+		tree.Push(e)
+	}
+	tree.Finish()
+	if tree.Results() != want {
+		t.Fatalf("tree %d results, MJoin %d", tree.Results(), want)
+	}
+	if want == 0 {
+		t.Fatal("degenerate workload: no results")
+	}
+}
+
+func TestTreeAgreesWithMJoin3Way(t *testing.T) {
+	in := workload(3, 1200, 2, 200)
+	maxD, _ := in.MaxDelay()
+	cond := join.EquiChain(3, 0)
+	w := []stream.Time{2 * stream.Second, 2 * stream.Second, 2 * stream.Second}
+
+	want := mjoinResults(cond, w, maxD, clone(in))
+	tree := NewTree(join.EquiChain(3, 0), w, maxD, nil)
+	for _, e := range clone(in) {
+		tree.Push(e)
+	}
+	tree.Finish()
+	if tree.Results() != want {
+		t.Fatalf("tree %d results, MJoin %d", tree.Results(), want)
+	}
+	if tree.Operators() != 2 {
+		t.Fatalf("Operators = %d, want 2", tree.Operators())
+	}
+	if want == 0 {
+		t.Fatal("degenerate workload: no results")
+	}
+}
+
+// Unequal window extents exercise the per-constituent deadline: a partial
+// must expire when its EARLIEST constituent leaves its own (possibly small)
+// window, not when the partial's max timestamp does.
+func TestTreeAgreesWithMJoinUnequalWindows(t *testing.T) {
+	in := workload(3, 1000, 3, 50)
+	maxD, _ := in.MaxDelay()
+	cond := join.EquiChain(3, 0)
+	w := []stream.Time{500, 2 * stream.Second, stream.Second}
+
+	want := mjoinResults(cond, w, maxD, clone(in))
+	tree := NewTree(join.EquiChain(3, 0), w, maxD, nil)
+	for _, e := range clone(in) {
+		tree.Push(e)
+	}
+	tree.Finish()
+	if tree.Results() != want {
+		t.Fatalf("tree %d results, MJoin %d", tree.Results(), want)
+	}
+	if want == 0 {
+		t.Fatal("degenerate workload: no results")
+	}
+}
+
+// A generic (non-equi) predicate forces the cross-join scan path of the
+// stage windows.
+func TestTreeGenericPredicate(t *testing.T) {
+	in := workload(2, 800, 4, 5)
+	maxD, _ := in.MaxDelay()
+	mk := func() *join.Condition {
+		return join.Cross(2).Where([]int{0, 1}, func(a []*stream.Tuple) bool {
+			return math.Abs(a[0].Attr(1)-a[1].Attr(1)) < 10
+		})
+	}
+	w := []stream.Time{300, 300}
+
+	want := mjoinResults(mk(), w, maxD, clone(in))
+	tree := NewTree(mk(), w, maxD, nil)
+	for _, e := range clone(in) {
+		tree.Push(e)
+	}
+	tree.Finish()
+	if tree.Results() != want {
+		t.Fatalf("tree %d results, MJoin %d", tree.Results(), want)
+	}
+	if want == 0 {
+		t.Fatal("degenerate workload: no results")
+	}
+}
+
+func TestPipelinedMatchesTree(t *testing.T) {
+	in := workload(3, 1000, 5, 100)
+	maxD, _ := in.MaxDelay()
+	w := []stream.Time{stream.Second, stream.Second, stream.Second}
+
+	tree := NewTree(join.EquiChain(3, 0), w, maxD, nil)
+	for _, e := range clone(in) {
+		tree.Push(e)
+	}
+	tree.Finish()
+
+	pipe := NewPipelined(join.EquiChain(3, 0), w, maxD, 128)
+	var piped int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range pipe.Results() {
+			piped++
+		}
+	}()
+	for _, e := range clone(in) {
+		pipe.Push(e)
+	}
+	pipe.Close()
+	<-done
+	pipe.Wait()
+
+	if piped != tree.Results() {
+		t.Fatalf("pipelined %d results, tree %d", piped, tree.Results())
+	}
+	if piped == 0 {
+		t.Fatal("degenerate workload: no results")
+	}
+}
+
+func TestSinkReceivesCompleteResults(t *testing.T) {
+	var got []Partial
+	tree := NewTree(join.EquiChain(2, 0), []stream.Time{stream.Second, stream.Second}, 2*stream.Second,
+		func(p Partial) { got = append(got, p) })
+	tree.Push(&stream.Tuple{TS: 1000, Seq: 0, Src: 0, Attrs: []float64{7}})
+	tree.Push(&stream.Tuple{TS: 1100, Seq: 1, Src: 1, Attrs: []float64{7}})
+	tree.Finish()
+	if len(got) != 1 {
+		t.Fatalf("sink saw %d results, want 1", len(got))
+	}
+	r := got[0]
+	if r.TS != 1100 || len(r.Parts) != 2 || r.Parts[0].Src != 0 || r.Parts[1].Src != 1 {
+		t.Fatalf("bad result %+v", r)
+	}
+}
+
+// A NaN join attribute must neither match anything nor crash index
+// maintenance when the entry expires (regression: remove() used to panic on
+// the unreachable NaN map key).
+func TestNaNKeyNeverMatchesNorCrashes(t *testing.T) {
+	tree := NewTree(join.EquiChain(2, 0), []stream.Time{100, 100}, 0, nil)
+	tree.Push(&stream.Tuple{TS: 10, Seq: 0, Src: 0, Attrs: []float64{math.NaN()}})
+	tree.Push(&stream.Tuple{TS: 20, Seq: 1, Src: 1, Attrs: []float64{math.NaN()}})
+	tree.Push(&stream.Tuple{TS: 500, Seq: 2, Src: 0, Attrs: []float64{1}})
+	tree.Push(&stream.Tuple{TS: 510, Seq: 3, Src: 1, Attrs: []float64{1}})
+	tree.Finish()
+	if tree.Results() != 1 {
+		t.Fatalf("results = %d, want 1 (NaN pair must not match)", tree.Results())
+	}
+}
+
+func TestSetKPropagates(t *testing.T) {
+	// With K = 0 the disordered feed loses results; raising K to cover the
+	// disorder mid-stream must start recovering them.
+	in := workload(2, 1500, 6, 5)
+	maxD, _ := in.MaxDelay()
+	w := []stream.Time{stream.Second, stream.Second}
+
+	full := NewTree(join.EquiChain(2, 0), w, maxD, nil)
+	for _, e := range clone(in) {
+		full.Push(e)
+	}
+	full.Finish()
+
+	none := NewTree(join.EquiChain(2, 0), w, 0, nil)
+	for _, e := range clone(in) {
+		none.Push(e)
+	}
+	none.Finish()
+
+	if none.Results() >= full.Results() {
+		t.Fatalf("K=0 should lose results: %d vs %d", none.Results(), full.Results())
+	}
+
+	adaptive := NewTree(join.EquiChain(2, 0), w, 0, nil)
+	half := clone(in)
+	for i, e := range half {
+		if i == len(half)/4 {
+			adaptive.SetK(maxD)
+		}
+		adaptive.Push(e)
+	}
+	adaptive.Finish()
+	if adaptive.Results() <= none.Results() {
+		t.Fatalf("raising K should recover results: %d vs %d", adaptive.Results(), none.Results())
+	}
+}

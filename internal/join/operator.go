@@ -41,6 +41,11 @@ type Operator struct {
 	assignBuf   []*stream.Tuple
 	countsBuf   []int64
 	onlyCounted bool
+	// scratch holds one reusable candidate buffer per probe level, so the
+	// multi-lookup filter path never allocates in steady state. Levels are
+	// independent because search at level l only consumes candidates of
+	// levels ≤ l.
+	scratch [][]*stream.Tuple
 }
 
 // Option customizes the operator.
@@ -71,6 +76,7 @@ func New(cond *Condition, sizes []stream.Time, opts ...Option) *Operator {
 		windows:   make([]*window.Window, cond.M),
 		assignBuf: make([]*stream.Tuple, cond.M),
 		countsBuf: make([]int64, cond.M),
+		scratch:   make([][]*stream.Tuple, cond.M),
 	}
 	for i, w := range sizes {
 		if w <= 0 {
@@ -179,7 +185,7 @@ func (o *Operator) search(p plan, lvl int, assign []*stream.Tuple) int64 {
 		return prod
 	}
 	var n int64
-	for _, cand := range o.candidates(st, assign) {
+	for _, cand := range o.candidates(st, lvl, assign) {
 		assign[st.stream] = cand
 		if o.stepChecks(st, assign) {
 			n += o.search(p, lvl+1, assign)
@@ -191,8 +197,9 @@ func (o *Operator) search(p plan, lvl int, assign []*stream.Tuple) int64 {
 
 // candidates returns the window tuples on st.stream compatible with the
 // bound lookups of the step. With at least one lookup the first index is
-// probed and remaining lookups filter; with none the whole window scans.
-func (o *Operator) candidates(st step, assign []*stream.Tuple) []*stream.Tuple {
+// probed and remaining lookups filter into the level's reusable scratch
+// buffer; with none the whole window scans.
+func (o *Operator) candidates(st step, lvl int, assign []*stream.Tuple) []*stream.Tuple {
 	w := o.windows[st.stream]
 	if len(st.lookups) == 0 {
 		return w.All()
@@ -202,7 +209,8 @@ func (o *Operator) candidates(st step, assign []*stream.Tuple) []*stream.Tuple {
 	if len(st.lookups) == 1 {
 		return base
 	}
-	out := base[:0:0]
+	old := o.scratch[lvl]
+	out := old[:0]
 	for _, cand := range base {
 		ok := true
 		for _, l := range st.lookups[1:] {
@@ -215,6 +223,12 @@ func (o *Operator) candidates(st step, assign []*stream.Tuple) []*stream.Tuple {
 			out = append(out, cand)
 		}
 	}
+	// Nil the stale tail from the previous probe so the scratch buffer does
+	// not pin long-expired tuples against the GC.
+	for i := len(out); i < len(old); i++ {
+		old[i] = nil
+	}
+	o.scratch[lvl] = out
 	return out
 }
 

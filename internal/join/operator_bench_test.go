@@ -1,0 +1,106 @@
+package join
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// benchFeed builds an in-order m-stream equi feed.
+func benchFeed(m, n, domain int) []*stream.Tuple {
+	rng := rand.New(rand.NewSource(1))
+	out := make([]*stream.Tuple, 0, m*n)
+	var seq uint64
+	ts := stream.Time(0)
+	for i := 0; i < n; i++ {
+		ts += 10
+		for src := 0; src < m; src++ {
+			out = append(out, &stream.Tuple{TS: ts, Seq: seq, Src: src,
+				Attrs: []float64{float64(rng.Intn(domain)), float64(rng.Intn(domain))}})
+			seq++
+		}
+	}
+	return out
+}
+
+// cycle replays the feed endlessly, shifting timestamps forward one epoch
+// per pass so the operator keeps seeing in-order input. Tuples are safely
+// reused: the window span is far smaller than one epoch, so a tuple has long
+// been expired before its pointer comes around again.
+func cycle(feed []*stream.Tuple, orig []stream.Time, span stream.Time, i int) *stream.Tuple {
+	e := feed[i%len(feed)]
+	e.TS = orig[i%len(feed)] + span*stream.Time(i/len(feed))
+	return e
+}
+
+func origTS(feed []*stream.Tuple) ([]stream.Time, stream.Time) {
+	orig := make([]stream.Time, len(feed))
+	var max stream.Time
+	for i, e := range feed {
+		orig[i] = e.TS
+		if e.TS > max {
+			max = e.TS
+		}
+	}
+	return orig, max + 10
+}
+
+// BenchmarkProcessEquiChain measures the steady-state counting-only probe
+// path (expire + probe + insert) of a 3-way equi chain. After warm-up it
+// must run allocation-free.
+func BenchmarkProcessEquiChain(b *testing.B) {
+	const n = 1 << 15
+	feed := benchFeed(3, n/3+1, 50)
+	orig, span := origTS(feed)
+	op := New(EquiChain(3, 0), []stream.Time{stream.Second, stream.Second, stream.Second})
+	// Warm up windows and index buckets to steady state.
+	for _, e := range feed[:n/2] {
+		op.Process(e)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op.Process(cycle(feed, orig, span, i+n/2))
+	}
+}
+
+// BenchmarkProcessStar measures the multi-lookup filter path: a 4-way star
+// join where later probe steps carry a second lookup that filters through
+// the per-level scratch buffer.
+func BenchmarkProcessStar(b *testing.B) {
+	const n = 1 << 15
+	feed := benchFeed(4, n/4+1, 20)
+	orig, span := origTS(feed)
+	cond := Star(4, []int{0, 0, 1}, []int{0, 0, 1})
+	op := New(cond, []stream.Time{500, 500, 500, 500})
+	for _, e := range feed[:n/2] {
+		op.Process(e)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op.Process(cycle(feed, orig, span, i+n/2))
+	}
+}
+
+// TestSteadyStateProcessDoesNotAllocate pins allocs/op ~0 on the
+// counting-only equi probe path.
+func TestSteadyStateProcessDoesNotAllocate(t *testing.T) {
+	feed := benchFeed(3, 4000, 50)
+	op := New(EquiChain(3, 0), []stream.Time{stream.Second, stream.Second, stream.Second})
+	half := len(feed) / 2
+	for _, e := range feed[:half] {
+		op.Process(e)
+	}
+	i := half
+	allocs := testing.AllocsPerRun(20, func() {
+		for j := 0; j < 100; j++ {
+			op.Process(feed[i%len(feed)])
+			i++
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("steady-state Process allocated %v times per 100 tuples", allocs)
+	}
+}

@@ -12,8 +12,7 @@
 package kslack
 
 import (
-	"container/heap"
-
+	"repro/internal/pq"
 	"repro/internal/stream"
 )
 
@@ -28,7 +27,7 @@ type Buffer struct {
 	k      stream.Time
 	localT stream.Time
 	seen   bool
-	heap   tupleHeap
+	heap   pq.Heap[*stream.Tuple]
 	emit   EmitFunc
 
 	arrived  int64
@@ -42,7 +41,7 @@ func New(k stream.Time, emit EmitFunc) *Buffer {
 	if k < 0 {
 		k = 0
 	}
-	return &Buffer{k: k, emit: emit}
+	return &Buffer{k: k, emit: emit, heap: pq.New(stream.Less)}
 }
 
 // K returns the current buffer size in time units.
@@ -63,10 +62,15 @@ func (b *Buffer) SetK(k stream.Time) {
 func (b *Buffer) LocalT() stream.Time { return b.localT }
 
 // Len returns the number of currently buffered tuples.
-func (b *Buffer) Len() int { return len(b.heap) }
+func (b *Buffer) Len() int { return b.heap.Len() }
 
 // Arrived returns the number of tuples pushed so far.
 func (b *Buffer) Arrived() int64 { return b.arrived }
+
+// Released returns the number of tuples emitted so far. At any point
+// Arrived() == Released() + Len(): the buffer never drops or duplicates a
+// tuple.
+func (b *Buffer) Released() int64 { return b.released }
 
 // MaxDelay returns the maximum delay observed among arrived tuples.
 func (b *Buffer) MaxDelay() stream.Time { return b.maxDelay }
@@ -83,48 +87,27 @@ func (b *Buffer) Push(e *stream.Tuple) {
 	if e.Delay > b.maxDelay {
 		b.maxDelay = e.Delay
 	}
-	heap.Push(&b.heap, e)
+	b.heap.Push(e)
 	b.release()
 }
 
 // Flush releases every remaining buffered tuple in timestamp order. Call it
 // when the input stream ends.
 func (b *Buffer) Flush() {
-	for len(b.heap) > 0 {
+	for b.heap.Len() > 0 {
 		b.pop()
 	}
 }
 
 // release emits all tuples with ts + K ≤ iT, in timestamp order.
 func (b *Buffer) release() {
-	for len(b.heap) > 0 && b.heap[0].TS+b.k <= b.localT {
+	for b.heap.Len() > 0 && b.heap.Peek().TS+b.k <= b.localT {
 		b.pop()
 	}
 }
 
 func (b *Buffer) pop() {
-	e := heap.Pop(&b.heap).(*stream.Tuple)
+	e := b.heap.Pop()
 	b.released++
 	b.emit(e)
-}
-
-// tupleHeap is a min-heap on (TS, Seq) so ties keep arrival order.
-type tupleHeap []*stream.Tuple
-
-func (h tupleHeap) Len() int { return len(h) }
-func (h tupleHeap) Less(i, j int) bool {
-	if h[i].TS != h[j].TS {
-		return h[i].TS < h[j].TS
-	}
-	return h[i].Seq < h[j].Seq
-}
-func (h tupleHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *tupleHeap) Push(x any)   { *h = append(*h, x.(*stream.Tuple)) }
-func (h *tupleHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
 }

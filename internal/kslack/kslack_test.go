@@ -201,3 +201,57 @@ func maxT(a, b stream.Time) stream.Time {
 	}
 	return b
 }
+
+// Invariant: Arrived() == Released() + Len() at every point, including
+// across SetK shrink/grow sequences and the final flush.
+func TestArrivedEqualsReleasedPlusBuffered(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var released int64
+		b := New(stream.Time(rng.Intn(50)), func(*stream.Tuple) { released++ })
+		check := func() bool {
+			return b.Arrived() == b.Released()+int64(b.Len()) && b.Released() == released
+		}
+		ts := stream.Time(0)
+		for i := 0; i < 300; i++ {
+			switch rng.Intn(10) {
+			case 0:
+				b.SetK(stream.Time(rng.Intn(10))) // shrink: eager release
+			case 1:
+				b.SetK(stream.Time(50 + rng.Intn(100))) // grow
+			default:
+				ts += stream.Time(rng.Intn(4))
+				b.Push(&stream.Tuple{TS: maxT(0, ts-stream.Time(rng.Intn(30))), Seq: uint64(i)})
+			}
+			if !check() {
+				return false
+			}
+		}
+		b.Flush()
+		return check() && b.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkPush measures the per-arrival cost on mostly-ordered input with a
+// working buffer: the boxing-free heap must not allocate in steady state.
+func BenchmarkPush(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 1 << 16
+	tuples := make([]*stream.Tuple, n)
+	for i := range tuples {
+		ts := stream.Time(i * 10)
+		if rng.Intn(5) == 0 {
+			ts = maxT(0, ts-stream.Time(rng.Intn(500)))
+		}
+		tuples[i] = &stream.Tuple{TS: ts, Seq: uint64(i)}
+	}
+	buf := New(1000, func(*stream.Tuple) {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Push(tuples[i&(n-1)])
+	}
+}

@@ -1,0 +1,104 @@
+// Package pq provides a generic, non-boxing min-heap shared by the
+// per-tuple hot paths of the framework: the K-slack input-sorting buffers,
+// the Synchronizer and the distributed tree stages.
+//
+// container/heap funnels every element through `any`, which boxes the value
+// and allocates on each Push; with millions of tuples per second that is an
+// allocation (and a GC pointer write) per arrival. Heap[T] stores elements
+// directly in a typed slice, so steady-state Push/Pop never allocate once
+// the backing array has reached its high-water mark.
+//
+// The heap is 4-ary rather than binary: half the depth means half the
+// swap-and-compare levels per Push on mostly-ordered input (the common case
+// after K-slack), and sift-down compares four children that sit in one or
+// two cache lines.
+package pq
+
+// Heap is a d-ary (d=4) min-heap ordered by the less function. The zero
+// value is not usable; construct with New. Heap is not safe for concurrent
+// use.
+type Heap[T any] struct {
+	less  func(a, b T) bool
+	items []T
+}
+
+// New returns an empty heap ordered by less.
+func New[T any](less func(a, b T) bool) Heap[T] {
+	return Heap[T]{less: less}
+}
+
+// Len returns the number of elements held.
+func (h *Heap[T]) Len() int { return len(h.items) }
+
+// Peek returns the minimum element without removing it. It panics on an
+// empty heap, like indexing an empty slice would.
+func (h *Heap[T]) Peek() T { return h.items[0] }
+
+// Items exposes the backing slice in heap order (not sorted). Callers may
+// scan it read-only; they must not reorder or resize it.
+func (h *Heap[T]) Items() []T { return h.items }
+
+// Push inserts x. Amortized O(log4 n), allocation-free once the backing
+// array is warm.
+func (h *Heap[T]) Push(x T) {
+	h.items = append(h.items, x)
+	h.up(len(h.items) - 1)
+}
+
+// Pop removes and returns the minimum element. The vacated slot is zeroed so
+// popped pointers do not pin their referents.
+func (h *Heap[T]) Pop() T {
+	n := len(h.items) - 1
+	top := h.items[0]
+	h.items[0] = h.items[n]
+	var zero T
+	h.items[n] = zero
+	h.items = h.items[:n]
+	if n > 1 {
+		h.down(0)
+	}
+	return top
+}
+
+// Reset empties the heap keeping the backing array, zeroing it so stale
+// pointers are released.
+func (h *Heap[T]) Reset() {
+	clear(h.items)
+	h.items = h.items[:0]
+}
+
+func (h *Heap[T]) up(i int) {
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !h.less(h.items[i], h.items[p]) {
+			return
+		}
+		h.items[i], h.items[p] = h.items[p], h.items[i]
+		i = p
+	}
+}
+
+func (h *Heap[T]) down(i int) {
+	n := len(h.items)
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			return
+		}
+		min := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if h.less(h.items[j], h.items[min]) {
+				min = j
+			}
+		}
+		if !h.less(h.items[min], h.items[i]) {
+			return
+		}
+		h.items[i], h.items[min] = h.items[min], h.items[i]
+		i = min
+	}
+}

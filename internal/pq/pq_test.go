@@ -1,0 +1,173 @@
+package pq
+
+import (
+	"container/heap"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intLess(a, b int) bool { return a < b }
+
+func TestPushPopSorted(t *testing.T) {
+	h := New(intLess)
+	in := []int{5, 3, 8, 1, 9, 2, 7, 4, 6, 0}
+	for _, v := range in {
+		h.Push(v)
+	}
+	if h.Len() != len(in) {
+		t.Fatalf("Len = %d, want %d", h.Len(), len(in))
+	}
+	if h.Peek() != 0 {
+		t.Fatalf("Peek = %d, want 0", h.Peek())
+	}
+	for want := 0; want < len(in); want++ {
+		if got := h.Pop(); got != want {
+			t.Fatalf("Pop = %d, want %d", got, want)
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatal("heap not empty after draining")
+	}
+}
+
+func TestDuplicatesAndInterleaving(t *testing.T) {
+	h := New(intLess)
+	h.Push(3)
+	h.Push(3)
+	h.Push(1)
+	if h.Pop() != 1 || h.Pop() != 3 {
+		t.Fatal("wrong order with duplicates")
+	}
+	h.Push(0)
+	if h.Pop() != 0 || h.Pop() != 3 {
+		t.Fatal("wrong order after interleaved push")
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := New(intLess)
+	for i := 0; i < 10; i++ {
+		h.Push(i)
+	}
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatal("Reset must empty the heap")
+	}
+	h.Push(42)
+	if h.Pop() != 42 {
+		t.Fatal("heap unusable after Reset")
+	}
+}
+
+// Property: popping everything yields the sorted input, for arbitrary inputs.
+func TestHeapSortProperty(t *testing.T) {
+	f := func(raw []int) bool {
+		h := New(intLess)
+		for _, v := range raw {
+			h.Push(v)
+		}
+		want := append([]int(nil), raw...)
+		sort.Ints(want)
+		for _, w := range want {
+			if h.Pop() != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: under random interleavings of push and pop the heap agrees with
+// container/heap.
+func TestMatchesContainerHeap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := New(intLess)
+		var ref refHeap
+		for i := 0; i < 500; i++ {
+			if h.Len() > 0 && rng.Intn(3) == 0 {
+				if h.Pop() != heap.Pop(&ref).(int) {
+					return false
+				}
+				continue
+			}
+			v := rng.Intn(100)
+			h.Push(v)
+			heap.Push(&ref, v)
+		}
+		for h.Len() > 0 {
+			if ref.Len() == 0 || h.Pop() != heap.Pop(&ref).(int) {
+				return false
+			}
+		}
+		return ref.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSteadyStatePushPopDoesNotAllocate(t *testing.T) {
+	h := New(intLess)
+	for i := 0; i < 1024; i++ {
+		h.Push(i)
+	}
+	for h.Len() > 0 {
+		h.Pop()
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			h.Push(64 - i)
+		}
+		for h.Len() > 0 {
+			h.Pop()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state push/pop allocated %v times per run", allocs)
+	}
+}
+
+// refHeap is the container/heap oracle.
+type refHeap []int
+
+func (h refHeap) Len() int           { return len(h) }
+func (h refHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h refHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)        { *h = append(*h, x.(int)) }
+func (h *refHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+func BenchmarkPushPop(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]int, 4096)
+	for i := range vals {
+		vals[i] = rng.Int()
+	}
+	b.Run("pq4ary", func(b *testing.B) {
+		h := New(intLess)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Push(vals[i%len(vals)])
+			if h.Len() > 256 {
+				h.Pop()
+			}
+		}
+	})
+	b.Run("container-heap", func(b *testing.B) {
+		var h refHeap
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			heap.Push(&h, vals[i%len(vals)])
+			if h.Len() > 256 {
+				heap.Pop(&h)
+			}
+		}
+	})
+}

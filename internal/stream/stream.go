@@ -62,6 +62,16 @@ func (t *Tuple) String() string {
 	return fmt.Sprintf("S%d@%d%v", t.Src, t.TS, t.Attrs)
 }
 
+// Less is the canonical (TS, Seq) tuple order shared by every component that
+// sorts or buffers tuples (K-slack, Synchronizer, windows): timestamp order
+// with ties broken by arrival sequence.
+func Less(a, b *Tuple) bool {
+	if a.TS != b.TS {
+		return a.TS < b.TS
+	}
+	return a.Seq < b.Seq
+}
+
 // Result is one join result: a combination of exactly one tuple per input
 // stream. TS is the maximum timestamp among deriving tuples, per the MSWJ
 // semantics in Sec. II-A.
@@ -146,39 +156,57 @@ func (b Batch) SortedByTS() Batch {
 
 // Disordered reports whether the batch contains at least one out-of-order
 // tuple, i.e. a tuple whose timestamp is smaller than that of an earlier
-// arrival from the same stream.
+// arrival from the same stream. Src is a dense index in [0,m), so per-stream
+// state lives in small slices (stack-allocated for m ≤ 8) rather than
+// per-call maps.
 func (b Batch) Disordered() bool {
-	seen := map[int]Time{}
+	var hiBuf [8]Time
+	var seenBuf [8]bool
+	hi, seen := hiBuf[:], seenBuf[:]
 	for _, t := range b {
-		hi, ok := seen[t.Src]
-		if ok && t.TS < hi {
+		s := t.Src
+		for s >= len(hi) {
+			hi = append(hi, 0)
+			seen = append(seen, false)
+		}
+		if seen[s] && t.TS < hi[s] {
 			return true
 		}
-		if !ok || t.TS > hi {
-			seen[t.Src] = t.TS
+		if !seen[s] || t.TS > hi[s] {
+			hi[s] = t.TS
+			seen[s] = true
 		}
 	}
 	return false
 }
 
-// MaxDelay returns the maximum delay(e) = iT − e.ts over the batch, computed
-// per source stream, along with the per-stream maxima. It matches the
-// definition in Sec. II-A of the paper.
-func (b Batch) MaxDelay() (Time, map[int]Time) {
-	perStream := map[int]Time{}
-	localT := map[int]Time{}
+// MaxDelay returns the maximum delay(e) = iT − e.ts over the batch, along
+// with the per-stream maxima indexed by Src (length = max Src + 1). It
+// matches the definition in Sec. II-A of the paper.
+func (b Batch) MaxDelay() (Time, []Time) {
+	var localBuf [8]Time
+	var seenBuf [8]bool
+	localT, seen := localBuf[:0], seenBuf[:0]
+	per := make([]Time, 0, 8)
 	var max Time
 	for _, t := range b {
-		if hi, ok := localT[t.Src]; !ok || t.TS > hi {
-			localT[t.Src] = t.TS
+		s := t.Src
+		for s >= len(localT) {
+			localT = append(localT, 0)
+			seen = append(seen, false)
+			per = append(per, 0)
 		}
-		d := localT[t.Src] - t.TS
-		if d > perStream[t.Src] {
-			perStream[t.Src] = d
+		if !seen[s] || t.TS > localT[s] {
+			localT[s] = t.TS
+			seen[s] = true
+		}
+		d := localT[s] - t.TS
+		if d > per[s] {
+			per[s] = d
 		}
 		if d > max {
 			max = d
 		}
 	}
-	return max, perStream
+	return max, per
 }

@@ -115,6 +115,22 @@ func TestBatchMaxTS(t *testing.T) {
 	}
 }
 
+// The per-stream state of Disordered and MaxDelay lives in small slices
+// indexed by Src: for the usual m ≤ 8 Disordered must not allocate at all,
+// and MaxDelay only for its returned per-stream slice.
+func TestDisorderScanAllocations(t *testing.T) {
+	b := make(Batch, 512)
+	for i := range b {
+		b[i] = tup(i%4, Time(100+i-3*(i%7)), uint64(i))
+	}
+	if got := testing.AllocsPerRun(100, func() { b.Disordered() }); got != 0 {
+		t.Fatalf("Disordered allocated %v times per call", got)
+	}
+	if got := testing.AllocsPerRun(100, func() { b.MaxDelay() }); got > 2 {
+		t.Fatalf("MaxDelay allocated %v times per call", got)
+	}
+}
+
 // Property: delays computed by MaxDelay are always non-negative and zero for
 // a per-stream sorted batch.
 func TestMaxDelayProperty(t *testing.T) {

@@ -14,8 +14,7 @@
 package syncer
 
 import (
-	"container/heap"
-
+	"repro/internal/pq"
 	"repro/internal/stream"
 )
 
@@ -26,7 +25,7 @@ type EmitFunc func(*stream.Tuple)
 type Synchronizer struct {
 	m      int
 	tsync  stream.Time
-	heap   tupleHeap
+	heap   pq.Heap[*stream.Tuple]
 	counts []int // buffered tuples per stream
 	open   []bool
 	nOpen  int
@@ -40,6 +39,7 @@ type Synchronizer struct {
 func New(m int, emit EmitFunc) *Synchronizer {
 	s := &Synchronizer{
 		m:      m,
+		heap:   pq.New(stream.Less),
 		counts: make([]int, m),
 		open:   make([]bool, m),
 		nOpen:  m,
@@ -55,7 +55,7 @@ func New(m int, emit EmitFunc) *Synchronizer {
 func (s *Synchronizer) TSync() stream.Time { return s.tsync }
 
 // Len returns the number of buffered tuples.
-func (s *Synchronizer) Len() int { return len(s.heap) }
+func (s *Synchronizer) Len() int { return s.heap.Len() }
 
 // Immediate returns how many tuples bypassed the buffer (out-of-order w.r.t.
 // T^sync, forwarded immediately).
@@ -64,7 +64,7 @@ func (s *Synchronizer) Immediate() int64 { return s.immediate }
 // Push accepts one tuple from the K-slack component of stream e.Src.
 func (s *Synchronizer) Push(e *stream.Tuple) {
 	if e.TS > s.tsync {
-		heap.Push(&s.heap, e)
+		s.heap.Push(e)
 		s.counts[e.Src]++
 		s.buffered++
 		s.drain()
@@ -89,10 +89,10 @@ func (s *Synchronizer) Close(i int) {
 // tuple: T^sync advances to the minimum buffered timestamp and all tuples at
 // that timestamp are emitted. With no open streams the buffer empties fully.
 func (s *Synchronizer) drain() {
-	for len(s.heap) > 0 && s.ready() {
-		s.tsync = s.heap[0].TS
-		for len(s.heap) > 0 && s.heap[0].TS == s.tsync {
-			e := heap.Pop(&s.heap).(*stream.Tuple)
+	for s.heap.Len() > 0 && s.ready() {
+		s.tsync = s.heap.Peek().TS
+		for s.heap.Len() > 0 && s.heap.Peek().TS == s.tsync {
+			e := s.heap.Pop()
 			s.counts[e.Src]--
 			s.emit(e)
 		}
@@ -110,25 +110,4 @@ func (s *Synchronizer) ready() bool {
 		}
 	}
 	return true
-}
-
-// tupleHeap is a min-heap on (TS, Seq).
-type tupleHeap []*stream.Tuple
-
-func (h tupleHeap) Len() int { return len(h) }
-func (h tupleHeap) Less(i, j int) bool {
-	if h[i].TS != h[j].TS {
-		return h[i].TS < h[j].TS
-	}
-	return h[i].Seq < h[j].Seq
-}
-func (h tupleHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *tupleHeap) Push(x any)   { *h = append(*h, x.(*stream.Tuple)) }
-func (h *tupleHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
 }

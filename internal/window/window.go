@@ -6,29 +6,76 @@
 // hash indexes on the attributes used by equi-join predicates so probing is
 // O(matches) instead of O(window).
 //
-// Out-of-order tuples may be inserted behind the window head (lines 9–10 of
-// Alg. 2), so insertion uses binary search rather than appending.
+// # Hot-path design
+//
+// The window is the single hottest structure in the system: every in-order
+// arrival expires and probes m−1 windows and inserts into one. Storage is a
+// ring-style deque laid out in a plain slice: the live tuples are
+// buf[head:], ordered by (TS, Seq).
+//
+//   - Insert append fast path: the operator's input is the Synchronizer's
+//     output, which is mostly timestamp-ordered, so almost every insert lands
+//     at the tail — a single append, amortized O(1), no shifting. The
+//     invariant "buf[head:] sorted by (TS, Seq)" is preserved because the
+//     fast path is taken exactly when the new tuple sorts ≥ the current tail.
+//   - Out-of-order residue (tuples forwarded per lines 9–10 of Alg. 2) falls
+//     back to binary search plus a memmove of whichever side of the insertion
+//     point is shorter; when dead space exists in front of head the left side
+//     shifts into it, so late tuples near the head stay cheap.
+//   - Expire advances head instead of copying the tail, nil-ing the vacated
+//     slots so expired tuples are released to the GC. When the dead prefix
+//     outgrows the live region the buffer is compacted back to offset 0, so
+//     memory tracks the live tuple count; the copy is amortized O(1) per
+//     expired tuple.
+//
+// Hash-index maintenance is O(1) per tuple: each index keeps, besides its
+// buckets, the position of every tuple inside its bucket, so expiration
+// swap-deletes without scanning. The buckets live in an open-addressed
+// table keyed by the attribute's float64 bit pattern with a multiplicative
+// hash — profiling showed the runtime map's hashing dominating the probe
+// path — and emptied buckets stay in place with their capacity until the
+// next table growth recycles them, so steady-state sliding over a stable
+// key domain allocates nothing.
 package window
 
 import (
+	"math"
+	"math/bits"
 	"sort"
 
 	"repro/internal/stream"
 )
 
+// compactMinDead is the minimum dead prefix before Expire considers
+// compacting; it keeps tiny windows from copying eagerly.
+const compactMinDead = 64
+
 // Window is a time-based sliding window of size W over one input stream.
 type Window struct {
 	size    stream.Time
-	items   []*stream.Tuple // ordered by (TS, Seq)
-	indexes map[int]map[float64][]*stream.Tuple
+	buf     []*stream.Tuple // live region buf[head:], ordered by (TS, Seq)
+	head    int
+	indexes []index
+}
+
+// index is one hash index: buckets by attribute value plus each tuple's
+// position in its bucket for O(1) swap-delete.
+type index struct {
+	attr int
+	tab  table
+	pos  map[*stream.Tuple]int
 }
 
 // New creates a window of the given size with hash indexes on the listed
 // attribute positions.
 func New(size stream.Time, indexedAttrs ...int) *Window {
-	w := &Window{size: size, indexes: map[int]map[float64][]*stream.Tuple{}}
+	w := &Window{size: size}
 	for _, a := range indexedAttrs {
-		w.indexes[a] = map[float64][]*stream.Tuple{}
+		w.indexes = append(w.indexes, index{
+			attr: a,
+			tab:  newTable(),
+			pos:  map[*stream.Tuple]int{},
+		})
 	}
 	return w
 }
@@ -37,80 +84,264 @@ func New(size stream.Time, indexedAttrs ...int) *Window {
 func (w *Window) Size() stream.Time { return w.size }
 
 // Len returns the number of tuples currently held.
-func (w *Window) Len() int { return len(w.items) }
+func (w *Window) Len() int { return len(w.buf) - w.head }
 
 // All returns the window content ordered by timestamp. The returned slice is
-// the internal storage; callers must not mutate it.
-func (w *Window) All() []*stream.Tuple { return w.items }
+// a view of the internal storage; callers must not mutate it and must not
+// retain it across Insert/Expire calls.
+func (w *Window) All() []*stream.Tuple { return w.buf[w.head:] }
 
 // Insert adds a tuple, keeping timestamp order. Duplicate timestamps keep
-// arrival order via Seq.
+// arrival order via Seq. A given *Tuple must be inserted at most once.
 func (w *Window) Insert(t *stream.Tuple) {
-	i := sort.Search(len(w.items), func(i int) bool {
-		if w.items[i].TS != t.TS {
-			return w.items[i].TS > t.TS
-		}
-		return w.items[i].Seq > t.Seq
-	})
-	w.items = append(w.items, nil)
-	copy(w.items[i+1:], w.items[i:])
-	w.items[i] = t
-	for attr, idx := range w.indexes {
-		k := t.Attr(attr)
-		idx[k] = append(idx[k], t)
+	if n := len(w.buf); n == w.head || !stream.Less(t, w.buf[n-1]) {
+		// Fast path: tuple sorts at (or ties with) the tail.
+		w.buf = append(w.buf, t)
+	} else {
+		w.insertSlow(t)
 	}
+	for i := range w.indexes {
+		w.indexes[i].add(t)
+	}
+}
+
+// insertSlow places an out-of-order tuple by binary search, shifting the
+// shorter side of the insertion point; dead space in front of head absorbs
+// left shifts.
+func (w *Window) insertSlow(t *stream.Tuple) {
+	lo, n := w.head, len(w.buf)
+	i := lo + sort.Search(n-lo, func(k int) bool { return stream.Less(t, w.buf[lo+k]) })
+	if w.head > 0 && i-w.head <= n-i {
+		copy(w.buf[w.head-1:i-1], w.buf[w.head:i])
+		w.head--
+		w.buf[i-1] = t
+		return
+	}
+	w.buf = append(w.buf, nil)
+	copy(w.buf[i+1:], w.buf[i:])
+	w.buf[i] = t
 }
 
 // Expire removes every tuple with TS < bound (line 6 of Alg. 2, with
 // bound = e.ts − W of the arriving tuple) and returns how many were removed.
 func (w *Window) Expire(bound stream.Time) int {
-	n := sort.Search(len(w.items), func(i int) bool { return w.items[i].TS >= bound })
-	if n == 0 {
-		return 0
-	}
-	for _, t := range w.items[:n] {
-		for attr, idx := range w.indexes {
-			k := t.Attr(attr)
-			lst := idx[k]
-			for j, cand := range lst {
-				if cand == t {
-					lst[j] = lst[len(lst)-1]
-					lst = lst[:len(lst)-1]
-					break
-				}
-			}
-			if len(lst) == 0 {
-				delete(idx, k)
-			} else {
-				idx[k] = lst
-			}
+	h := w.head
+	for h < len(w.buf) && w.buf[h].TS < bound {
+		t := w.buf[h]
+		for i := range w.indexes {
+			w.indexes[i].remove(t)
 		}
+		w.buf[h] = nil
+		h++
 	}
-	w.items = append(w.items[:0], w.items[n:]...)
+	n := h - w.head
+	w.head = h
+	if w.head >= compactMinDead && w.head >= len(w.buf)-w.head {
+		w.compact()
+	}
 	return n
+}
+
+// compact moves the live region back to offset 0 so the backing array is
+// bounded by ~2× the live high-water mark.
+func (w *Window) compact() {
+	live := copy(w.buf, w.buf[w.head:])
+	tail := w.buf[live:]
+	for i := range tail {
+		tail[i] = nil
+	}
+	w.buf = w.buf[:live]
+	w.head = 0
+	// After a burst the backing array can dwarf the steady-state window;
+	// reallocate so memory tracks live tuples.
+	if cap(w.buf) >= 1024 && live < cap(w.buf)/4 {
+		nb := make([]*stream.Tuple, live, 2*live)
+		copy(nb, w.buf)
+		w.buf = nb
+	}
 }
 
 // Match returns the tuples whose indexed attribute equals key. It panics if
 // the attribute was not registered at construction time, which is a planning
 // bug rather than a data condition.
 func (w *Window) Match(attr int, key float64) []*stream.Tuple {
-	idx, ok := w.indexes[attr]
-	if !ok {
-		panic("window: probe on unindexed attribute")
+	for i := range w.indexes {
+		if w.indexes[i].attr == attr {
+			b, ok := keyBits(key)
+			if !ok {
+				return nil // NaN never equi-matches
+			}
+			return w.indexes[i].tab.get(b)
+		}
 	}
-	return idx[key]
+	panic("window: probe on unindexed attribute")
 }
 
 // Indexed reports whether attr has a hash index.
 func (w *Window) Indexed(attr int) bool {
-	_, ok := w.indexes[attr]
-	return ok
+	for i := range w.indexes {
+		if w.indexes[i].attr == attr {
+			return true
+		}
+	}
+	return false
 }
 
 // Reset drops all content but keeps the configuration.
 func (w *Window) Reset() {
-	w.items = w.items[:0]
-	for attr := range w.indexes {
-		w.indexes[attr] = map[float64][]*stream.Tuple{}
+	for i := range w.buf {
+		w.buf[i] = nil
+	}
+	w.buf = w.buf[:0]
+	w.head = 0
+	for i := range w.indexes {
+		w.indexes[i].tab = newTable()
+		clear(w.indexes[i].pos)
+	}
+}
+
+// keyBits canonicalizes a float64 attribute value for bit-pattern hashing:
+// ±0 collapse to one key, and NaN (which never compares equal, so can never
+// equi-match) reports !ok.
+func keyBits(f float64) (uint64, bool) {
+	if f == 0 {
+		return 0, true
+	}
+	if f != f {
+		return 0, false
+	}
+	return math.Float64bits(f), true
+}
+
+// add appends t to its bucket, recording its position.
+func (ix *index) add(t *stream.Tuple) {
+	k, ok := keyBits(t.Attr(ix.attr))
+	if !ok {
+		return
+	}
+	b := ix.tab.bucket(k)
+	ix.pos[t] = len(*b)
+	*b = append(*b, t)
+}
+
+// remove swap-deletes t from its bucket in O(1) using the recorded position.
+// Emptied buckets keep their table slot and capacity; the next growth sweep
+// drops them.
+func (ix *index) remove(t *stream.Tuple) {
+	k, ok := keyBits(t.Attr(ix.attr))
+	if !ok {
+		return
+	}
+	b := ix.tab.bucket(k)
+	p := ix.pos[t]
+	last := len(*b) - 1
+	if p != last {
+		moved := (*b)[last]
+		(*b)[p] = moved
+		ix.pos[moved] = p
+	}
+	(*b)[last] = nil
+	*b = (*b)[:last]
+	delete(ix.pos, t)
+}
+
+// table is an open-addressed hash map from canonical float64 key bits to
+// tuple buckets: linear probing, fibonacci hashing, power-of-two capacity.
+// It exists because the probe path does several lookups per tuple and the
+// runtime map's generic float hashing dominated CPU profiles; a multiply
+// and shift is an order of magnitude cheaper.
+type table struct {
+	keys  []uint64
+	vals  [][]*stream.Tuple
+	used  []bool
+	n     int // occupied slots, including empty-bucket (dead) ones
+	shift uint
+}
+
+const tableMinCap = 16
+
+func newTable() table {
+	return table{
+		keys:  make([]uint64, tableMinCap),
+		vals:  make([][]*stream.Tuple, tableMinCap),
+		used:  make([]bool, tableMinCap),
+		shift: 64 - 4,
+	}
+}
+
+func (t *table) hash(bits uint64) uint64 {
+	return (bits * 0x9E3779B97F4A7C15) >> t.shift
+}
+
+// get returns the bucket for bits, or nil if absent.
+func (t *table) get(bits uint64) []*stream.Tuple {
+	mask := uint64(len(t.keys) - 1)
+	for i := t.hash(bits); ; i = (i + 1) & mask {
+		if !t.used[i] {
+			return nil
+		}
+		if t.keys[i] == bits {
+			return t.vals[i]
+		}
+	}
+}
+
+// bucket returns a pointer to the bucket slot for bits, claiming a slot if
+// the key is new. New buckets are pre-sized so the first few appends do not
+// reallocate.
+func (t *table) bucket(bits uint64) *[]*stream.Tuple {
+	if (t.n+1)*4 >= len(t.keys)*3 {
+		t.grow()
+	}
+	mask := uint64(len(t.keys) - 1)
+	for i := t.hash(bits); ; i = (i + 1) & mask {
+		if !t.used[i] {
+			t.used[i] = true
+			t.keys[i] = bits
+			t.n++
+			if t.vals[i] == nil {
+				t.vals[i] = make([]*stream.Tuple, 0, 4)
+			}
+			return &t.vals[i]
+		}
+		if t.keys[i] == bits {
+			return &t.vals[i]
+		}
+	}
+}
+
+// grow rehashes into a table sized for the live (non-empty) buckets at ≤50%
+// load, dropping dead entries accumulated since the last sweep.
+func (t *table) grow() {
+	live := 0
+	for i, u := range t.used {
+		if u && len(t.vals[i]) > 0 {
+			live++
+		}
+	}
+	newCap := tableMinCap
+	for newCap < 4*(live+1) {
+		newCap *= 2
+	}
+	old := *t
+	t.keys = make([]uint64, newCap)
+	t.vals = make([][]*stream.Tuple, newCap)
+	t.used = make([]bool, newCap)
+	t.n = 0
+	t.shift = 64 - uint(bits.TrailingZeros(uint(newCap)))
+	mask := uint64(newCap - 1)
+	for i, u := range old.used {
+		if !u || len(old.vals[i]) == 0 {
+			continue
+		}
+		for j := t.hash(old.keys[i]); ; j = (j + 1) & mask {
+			if !t.used[j] {
+				t.used[j] = true
+				t.keys[j] = old.keys[i]
+				t.vals[j] = old.vals[i]
+				t.n++
+				break
+			}
+		}
 	}
 }
