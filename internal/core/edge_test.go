@@ -70,17 +70,22 @@ func TestExtremeDelaysBeyondWindows(t *testing.T) {
 }
 
 func TestGapLargerThanP(t *testing.T) {
-	// A timestamp gap far larger than P must fast-forward through many
-	// adaptation boundaries without stalling or misbehaving.
-	var events int
+	// A timestamp gap far larger than P must fast-forward to the last
+	// crossed adaptation boundary in a single collapsed decision — NOT one
+	// decision per boundary, which would re-decide on an empty profiler and
+	// pollute the monitor ring with zero estimates (see Pipeline.Push).
+	var events []AdaptEvent
 	cfg := baseCfg(ModelPolicy())
-	cfg.OnAdapt = func(AdaptEvent) { events++ }
+	cfg.OnAdapt = func(ev AdaptEvent) { events = append(events, ev) }
 	p := New(cfg)
 	p.Push(&stream.Tuple{TS: 0, Seq: 0, Src: 0, Attrs: []float64{1}})
 	p.Push(&stream.Tuple{TS: 60_000, Seq: 1, Src: 1, Attrs: []float64{1}})
 	p.Finish()
-	if events != 60 {
-		t.Fatalf("expected 60 catch-up adaptations, got %d", events)
+	if len(events) != 1 {
+		t.Fatalf("expected 1 collapsed catch-up adaptation, got %d", len(events))
+	}
+	if events[0].Now != 60_000 {
+		t.Fatalf("decision anchored at %v, want the last crossed boundary 60s", events[0].Now)
 	}
 }
 

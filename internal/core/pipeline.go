@@ -181,9 +181,16 @@ func (p *Pipeline) Push(e *stream.Tuple) {
 		p.nextAdapt = now + p.cfg.Adapt.L
 		return
 	}
-	for now >= p.nextAdapt {
-		p.adaptStep(p.nextAdapt)
-		p.nextAdapt += p.cfg.Adapt.L
+	if now >= p.nextAdapt {
+		// A sparse arrival may cross several interval boundaries at once.
+		// Run ONE decision, anchored at the last crossed boundary, instead
+		// of re-deciding per boundary: the first step consumes (and resets)
+		// the profiler snapshot, so the repeats would decide on empty
+		// statistics and push zero true-size estimates into the monitor
+		// ring, depressing TrueEstimate() and distorting Γ′.
+		at := p.nextAdapt + p.cfg.Adapt.L*((now-p.nextAdapt)/p.cfg.Adapt.L)
+		p.adaptStep(at)
+		p.nextAdapt = at + p.cfg.Adapt.L
 	}
 }
 

@@ -138,6 +138,42 @@ func TestAdaptationCadence(t *testing.T) {
 	}
 }
 
+// TestSparseArrivalSingleAdaptStep is the regression test for the
+// adaptation-gap skew: one arrival crossing several interval boundaries
+// must trigger ONE adaptation decision (anchored at the last crossed
+// boundary), not one per boundary — the repeats would consume an
+// already-reset profiler and push zero true-size estimates into the
+// monitor ring.
+func TestSparseArrivalSingleAdaptStep(t *testing.T) {
+	p := New(baseCfg(StaticPolicy(30))) // L = 1 s
+	var events []AdaptEvent
+	p.cfg.OnAdapt = func(ev AdaptEvent) { events = append(events, ev) }
+
+	push := func(ts stream.Time, seq uint64) {
+		p.Push(&stream.Tuple{TS: ts, Seq: seq, Src: int(seq % 2), Attrs: []float64{1}})
+	}
+	push(1000, 0) // arms nextAdapt = 2000
+	push(1100, 1)
+	// The next arrival is 10 intervals later: it crosses the boundaries
+	// 2000..11000 in one Push.
+	push(11*stream.Second+100, 2)
+	if len(events) != 1 {
+		t.Fatalf("sparse arrival ran %d adaptation steps, want 1", len(events))
+	}
+	if events[0].Now != 11*stream.Second {
+		t.Fatalf("decision anchored at %v, want the last crossed boundary 11s", events[0].Now)
+	}
+	// Dense arrivals afterwards resume the normal one-step-per-boundary
+	// cadence from the new anchor.
+	push(12*stream.Second+100, 3)
+	if len(events) != 2 || events[1].Now != 12*stream.Second {
+		t.Fatalf("cadence did not resume: %+v", events)
+	}
+	if p.Adaptations() != 2 {
+		t.Fatalf("Adaptations = %d, want 2", p.Adaptations())
+	}
+}
+
 func TestConservationThroughPipeline(t *testing.T) {
 	in := mkWorkload(2000, 100, 5)
 	p := New(baseCfg(StaticPolicy(30)))

@@ -27,6 +27,7 @@ package dist
 import (
 	"sync"
 
+	"repro/internal/index"
 	"repro/internal/join"
 	"repro/internal/kslack"
 	"repro/internal/pq"
@@ -61,6 +62,16 @@ type pairLookup struct {
 	rightAttr            int
 }
 
+// pairBand is one band predicate |left − right| ≤ eps that becomes fully
+// bound at the stage (its highest-numbered stream is the stage's right
+// input). Stages evaluate bands as residual filters; range-index probing is
+// the central operator's optimization.
+type pairBand struct {
+	leftStream, leftAttr int
+	rightAttr            int
+	eps                  float64
+}
+
 const (
 	sideLeft  = 0
 	sideRight = 1
@@ -73,6 +84,7 @@ type stage struct {
 	windows  []stream.Time
 	cond     *join.Condition
 	lookups  []pairLookup
+	bands    []pairBand
 	checks   []int // Condition.Generics fully bound at this stage
 
 	ksLeft  *kslack.Buffer // stage 0 only (raw stream 0)
@@ -118,6 +130,14 @@ func newStage(cond *join.Condition, windows []stream.Time, k stream.Time, rightS
 			s.lookups = append(s.lookups, pairLookup{ls, la, ra})
 		} else if ls == rightSrc && rs < rightSrc {
 			s.lookups = append(s.lookups, pairLookup{rs, ra, la})
+		}
+	}
+	for _, b := range cond.Bands {
+		ls, la, rs, ra := b.LeftStream, b.LeftAttr, b.RightStream, b.RightAttr
+		if rs == rightSrc && ls < rightSrc {
+			s.bands = append(s.bands, pairBand{ls, la, ra, b.Eps})
+		} else if ls == rightSrc && rs < rightSrc {
+			s.bands = append(s.bands, pairBand{rs, ra, la, b.Eps})
 		}
 	}
 	for gi, g := range cond.Generics {
@@ -273,7 +293,11 @@ func (s *stage) process(ev *event) {
 	}
 	// Out-of-order w.r.t. this stage: no probing (lines 9–10 of Alg. 2);
 	// keep the event only while it can still contribute to future results.
-	if ev.deadline > s.onT {
+	// The shared boundary convention (scope [onT − W, onT], expired means
+	// strictly older) makes an event with deadline == onT still matchable:
+	// expire pops only deadline < onT, and the probe-side staleness check
+	// skips only deadline < ts.
+	if ev.deadline >= s.onT {
 		if ev.right != nil {
 			s.right.insert(ev)
 		} else {
@@ -306,11 +330,18 @@ func (s *stage) probeRight(ev *event) {
 	}
 }
 
-// matches checks the remaining equi-lookups and the generic predicates that
-// became fully bound at this stage.
+// matches checks the remaining equi-lookups, the band predicates and the
+// generic predicates that became fully bound at this stage.
 func (s *stage) matches(left *event, r *stream.Tuple) bool {
 	for _, l := range s.lookups[min(1, len(s.lookups)):] {
 		if left.parts[l.leftStream].Attr(l.leftAttr) != r.Attr(l.rightAttr) {
+			return false
+		}
+	}
+	for _, b := range s.bands {
+		d := left.parts[b.leftStream].Attr(b.leftAttr) - r.Attr(b.rightAttr)
+		// Negated form: NaN (all comparisons false) never band-matches.
+		if !(d >= -b.eps && d <= b.eps) {
 			return false
 		}
 	}
@@ -355,39 +386,36 @@ func (s *stage) emit(left *event, r *stream.Tuple, arriving *event) {
 	}
 }
 
-// pwindow holds the live entries of one stage input: a 4-ary heap ordered by
-// expiration deadline (so expiry pops are O(log n) with no scanning) plus,
-// for equi stages, a hash index with swap-delete on the first lookup key.
+// pwindow holds the live entries of one stage input: a 4-ary heap ordered
+// by expiration deadline (so expiry pops are O(log n) with no scanning)
+// plus, for equi stages, the shared open-addressed hash index
+// (internal/index) on the first lookup key — the same structure, cheap
+// multiplicative hashing and O(1) swap-delete the MJoin-style operator's
+// windows use.
 type pwindow struct {
-	indexed bool
-	heap    pq.Heap[*event]
-	buckets map[float64][]*event
-	pos     map[*event]int
+	heap pq.Heap[*event]
+	idx  *index.Hash[*event] // nil on non-equi stages
 }
 
 func newPwindow(indexed bool) *pwindow {
 	w := &pwindow{
-		indexed: indexed,
-		heap:    pq.New(func(a, b *event) bool { return a.deadline < b.deadline }),
+		heap: pq.New(func(a, b *event) bool { return a.deadline < b.deadline }),
 	}
 	if indexed {
-		w.buckets = map[float64][]*event{}
-		w.pos = map[*event]int{}
+		w.idx = index.NewHash[*event]()
 	}
 	return w
 }
 
 func (w *pwindow) insert(ev *event) {
 	w.heap.Push(ev)
-	// A NaN key can never equi-match (and would be unreachable as a map
-	// key), so such entries stay out of the index entirely.
-	if w.indexed && ev.key == ev.key {
-		b, ok := w.buckets[ev.key]
-		if !ok {
-			b = make([]*event, 0, 4)
-		}
-		w.pos[ev] = len(b)
-		w.buckets[ev.key] = append(b, ev)
+	if w.idx == nil {
+		return
+	}
+	// KeyBits reports !ok for NaN, which can never equi-match; such entries
+	// stay out of the index entirely.
+	if k, ok := index.KeyBits(ev.key); ok {
+		w.idx.Add(k, ev)
 	}
 }
 
@@ -396,27 +424,12 @@ func (w *pwindow) insert(ev *event) {
 func (w *pwindow) expire(t stream.Time) {
 	for w.heap.Len() > 0 && w.heap.Peek().deadline < t {
 		ev := w.heap.Pop()
-		if w.indexed && ev.key == ev.key {
-			w.remove(ev)
+		if w.idx == nil {
+			continue
 		}
-	}
-}
-
-func (w *pwindow) remove(ev *event) {
-	b := w.buckets[ev.key]
-	p := w.pos[ev]
-	last := len(b) - 1
-	if p != last {
-		moved := b[last]
-		b[p] = moved
-		w.pos[moved] = p
-	}
-	b[last] = nil
-	delete(w.pos, ev)
-	if last == 0 {
-		delete(w.buckets, ev.key)
-	} else {
-		w.buckets[ev.key] = b[:last]
+		if k, ok := index.KeyBits(ev.key); ok {
+			w.idx.Remove(k, ev)
+		}
 	}
 }
 
@@ -424,8 +437,12 @@ func (w *pwindow) remove(ev *event) {
 // stages, every live entry otherwise (heap order; callers re-check the
 // deadline).
 func (w *pwindow) candidates(key float64) []*event {
-	if w.indexed {
-		return w.buckets[key]
+	if w.idx != nil {
+		k, ok := index.KeyBits(key)
+		if !ok {
+			return nil
+		}
+		return w.idx.Get(k)
 	}
 	return w.heap.Items()
 }

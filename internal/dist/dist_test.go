@@ -122,6 +122,53 @@ func TestTreeAgreesWithMJoinUnequalWindows(t *testing.T) {
 	}
 }
 
+// Band predicates are evaluated as residual filters at the stage where
+// they become fully bound; the tree must agree with the central operator's
+// range-index execution result for result.
+func TestTreeBandPredicate(t *testing.T) {
+	in := workload(2, 1500, 9, 40)
+	maxD, _ := in.MaxDelay()
+	mk := func() *join.Condition {
+		// Band on attr 1 (values 0..99, eps 7) plus an equi on attr 0 so
+		// both the indexed and the residual stage paths run.
+		return join.Cross(2).Equi(0, 0, 1, 0).Band(0, 1, 1, 1, 7)
+	}
+	w := []stream.Time{stream.Second, stream.Second}
+	want := mjoinResults(mk(), w, maxD, clone(in))
+	tree := NewTree(mk(), w, maxD, nil)
+	for _, e := range clone(in) {
+		tree.Push(e)
+	}
+	tree.Finish()
+	if tree.Results() != want {
+		t.Fatalf("tree %d results, MJoin %d", tree.Results(), want)
+	}
+	if want == 0 {
+		t.Fatal("degenerate workload: no results")
+	}
+}
+
+// TestTreePureBandPredicate runs a band-only condition through the
+// unindexed scan path of the stage windows.
+func TestTreePureBandPredicate(t *testing.T) {
+	in := workload(2, 900, 10, 5)
+	maxD, _ := in.MaxDelay()
+	mk := func() *join.Condition { return join.Cross(2).Band(0, 1, 1, 1, 12) }
+	w := []stream.Time{500, 500}
+	want := mjoinResults(mk(), w, maxD, clone(in))
+	tree := NewTree(mk(), w, maxD, nil)
+	for _, e := range clone(in) {
+		tree.Push(e)
+	}
+	tree.Finish()
+	if tree.Results() != want {
+		t.Fatalf("tree %d results, MJoin %d", tree.Results(), want)
+	}
+	if want == 0 {
+		t.Fatal("degenerate workload: no results")
+	}
+}
+
 // A generic (non-equi) predicate forces the cross-join scan path of the
 // stage windows.
 func TestTreeGenericPredicate(t *testing.T) {

@@ -90,8 +90,10 @@ func (p *player) step(rng *rand.Rand, dt float64, w, h float64) {
 // Soccer generates the simulated 2-stream player-position workload with the
 // proximity query Q×2: find, within a 5-second window, all pairs of players
 // from opposing teams closer than 5 meters. Tuple attributes are
-// (sID, xCoord, yCoord); the join condition is the user-defined dist()
-// predicate, exercising the framework's arbitrary-condition path.
+// (sID, xCoord, yCoord); the join condition is expressed as two band
+// predicates (the bounding box of the 5 m circle, index-accelerated) plus
+// the exact dist() residual as a generic predicate, exercising both the
+// band planner and the arbitrary-condition path.
 func Soccer(cfg SoccerConfig) *Dataset {
 	cfg = cfg.normalize()
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -217,12 +219,24 @@ func Soccer(cfg SoccerConfig) *Dataset {
 		batch[i] = a.t
 	}
 
-	thr2 := cfg.ProximityM * cfg.ProximityM
-	cond := join.Cross(2).Where([]int{0, 1}, func(assign []*stream.Tuple) bool {
-		dx := assign[0].Attr(1) - assign[1].Attr(1)
-		dy := assign[0].Attr(2) - assign[1].Attr(2)
-		return dx*dx+dy*dy < thr2
-	})
+	// The proximity predicate dist() < 5 decomposes into two typed band
+	// predicates — |x0 − x1| ≤ 5 and |y0 − y1| ≤ 5, the bounding box of the
+	// circle — which the planner resolves to sorted range-index probes,
+	// plus the exact-circle residual as a generic predicate over the few
+	// box survivors. The conjunction is equivalent to the original
+	// dist() < 5 condition (the circle is a subset of its box), so results
+	// are identical; only the evaluation strategy changes, from an
+	// O(window) closure scan per probe to O(log n + box matches).
+	thr := cfg.ProximityM
+	thr2 := thr * thr
+	cond := join.Cross(2).
+		Band(0, 1, 1, 1, thr).
+		Band(0, 2, 1, 2, thr).
+		Where([]int{0, 1}, func(assign []*stream.Tuple) bool {
+			dx := assign[0].Attr(1) - assign[1].Attr(1)
+			dy := assign[0].Attr(2) - assign[1].Attr(2)
+			return dx*dx+dy*dy < thr2
+		})
 	return &Dataset{
 		Name:     "Dreal-x2 (simulated)",
 		M:        2,

@@ -1,0 +1,193 @@
+// Package index provides the shared window-index machinery used by every
+// operator that maintains per-attribute lookup structures over a sliding
+// window: the MJoin-style operator's windows (internal/window) and the
+// binary-tree stages' partial-result windows (internal/dist).
+//
+// Two structures are provided, both tuned for the windows' access pattern —
+// a steady stream of insert/remove pairs with many lookups in between:
+//
+//   - Hash[E]: an open-addressed hash table from canonical float64 key bits
+//     to entry buckets with O(1) swap-delete, generalizing the float-bits
+//     table that internal/window grew for the equi-probe hot path. Linear
+//     probing, multiplicative (fibonacci) hashing, power-of-two capacity.
+//     Profiling showed the runtime map's generic float hashing dominating
+//     probe-heavy workloads; a multiply and shift is an order of magnitude
+//     cheaper. Emptied buckets keep their table slot and capacity until the
+//     next growth sweep recycles them, so steady-state sliding over a stable
+//     key domain allocates nothing.
+//
+//   - Sorted[E]: a key-ordered array supporting O(log n + matches) range
+//     probes that return contiguous *views* (no copying), backing the typed
+//     band predicate |S_l.a − S_r.a| ≤ ε. Insert/remove are binary search
+//     plus a memmove — O(n) worst case, but windows hold thousands of
+//     entries at most and the memmove of machine words is far cheaper than
+//     the full-window scans the band predicate replaces.
+//
+// NaN keys are rejected by both structures (reported by KeyBits, silently
+// skipped by Sorted.Add): NaN never compares equal and never satisfies a
+// band, so a NaN-keyed entry could never be looked up anyway.
+package index
+
+import (
+	"math"
+	"math/bits"
+)
+
+// KeyBits canonicalizes a float64 key for bit-pattern hashing: ±0 collapse
+// to one key, and NaN (which never compares equal, so can never match a
+// probe) reports !ok.
+func KeyBits(f float64) (uint64, bool) {
+	if f == 0 {
+		return 0, true
+	}
+	if f != f {
+		return 0, false
+	}
+	return math.Float64bits(f), true
+}
+
+const hashMinCap = 16
+
+// Hash is an open-addressed hash index from uint64 keys (canonical float
+// bits, see KeyBits) to buckets of entries, with each entry's position
+// inside its bucket tracked for O(1) swap-delete. The zero value is not
+// usable; construct with NewHash.
+type Hash[E comparable] struct {
+	keys  []uint64
+	vals  [][]E
+	used  []bool
+	n     int // occupied slots, including empty-bucket (dead) ones
+	shift uint
+	pos   map[E]int
+}
+
+// NewHash creates an empty hash index.
+func NewHash[E comparable]() *Hash[E] {
+	h := &Hash[E]{pos: map[E]int{}}
+	h.init(hashMinCap)
+	return h
+}
+
+func (h *Hash[E]) init(capacity int) {
+	h.keys = make([]uint64, capacity)
+	h.vals = make([][]E, capacity)
+	h.used = make([]bool, capacity)
+	h.n = 0
+	h.shift = 64 - uint(bits.TrailingZeros(uint(capacity)))
+}
+
+func (h *Hash[E]) hash(key uint64) uint64 {
+	return (key * 0x9E3779B97F4A7C15) >> h.shift
+}
+
+// Get returns the bucket for key, or nil if absent. The returned slice is a
+// view of internal storage; callers must not mutate or retain it across
+// Add/Remove calls.
+func (h *Hash[E]) Get(key uint64) []E {
+	mask := uint64(len(h.keys) - 1)
+	for i := h.hash(key); ; i = (i + 1) & mask {
+		if !h.used[i] {
+			return nil
+		}
+		if h.keys[i] == key {
+			return h.vals[i]
+		}
+	}
+}
+
+// Add appends e to the bucket for key, recording its position. A given
+// entry must be added at most once per Hash.
+func (h *Hash[E]) Add(key uint64, e E) {
+	b := h.bucket(key)
+	h.pos[e] = len(*b)
+	*b = append(*b, e)
+}
+
+// Remove swap-deletes e from its bucket in O(1) using the recorded
+// position. Emptied buckets keep their table slot and capacity; the next
+// growth sweep drops them. The key must be present (every Remove pairs
+// with an earlier Add), so the slot probe never misses.
+func (h *Hash[E]) Remove(key uint64, e E) {
+	mask := uint64(len(h.keys) - 1)
+	i := h.hash(key)
+	for h.keys[i] != key || !h.used[i] {
+		i = (i + 1) & mask
+	}
+	b := &h.vals[i]
+	p := h.pos[e]
+	last := len(*b) - 1
+	if p != last {
+		moved := (*b)[last]
+		(*b)[p] = moved
+		h.pos[moved] = p
+	}
+	var zero E
+	(*b)[last] = zero
+	*b = (*b)[:last]
+	delete(h.pos, e)
+}
+
+// Len returns the number of entries currently held.
+func (h *Hash[E]) Len() int { return len(h.pos) }
+
+// Reset drops all content, releasing the backing storage.
+func (h *Hash[E]) Reset() {
+	h.init(hashMinCap)
+	clear(h.pos)
+}
+
+// bucket returns a pointer to the bucket slot for key, claiming a slot if
+// the key is new. New buckets are pre-sized so the first few appends do not
+// reallocate.
+func (h *Hash[E]) bucket(key uint64) *[]E {
+	if (h.n+1)*4 >= len(h.keys)*3 {
+		h.grow()
+	}
+	mask := uint64(len(h.keys) - 1)
+	for i := h.hash(key); ; i = (i + 1) & mask {
+		if !h.used[i] {
+			h.used[i] = true
+			h.keys[i] = key
+			h.n++
+			if h.vals[i] == nil {
+				h.vals[i] = make([]E, 0, 4)
+			}
+			return &h.vals[i]
+		}
+		if h.keys[i] == key {
+			return &h.vals[i]
+		}
+	}
+}
+
+// grow rehashes into a table sized for the live (non-empty) buckets at ≤50%
+// load, dropping dead entries accumulated since the last sweep.
+func (h *Hash[E]) grow() {
+	live := 0
+	for i, u := range h.used {
+		if u && len(h.vals[i]) > 0 {
+			live++
+		}
+	}
+	newCap := hashMinCap
+	for newCap < 4*(live+1) {
+		newCap *= 2
+	}
+	oldKeys, oldVals, oldUsed := h.keys, h.vals, h.used
+	h.init(newCap)
+	mask := uint64(newCap - 1)
+	for i, u := range oldUsed {
+		if !u || len(oldVals[i]) == 0 {
+			continue
+		}
+		for j := h.hash(oldKeys[i]); ; j = (j + 1) & mask {
+			if !h.used[j] {
+				h.used[j] = true
+				h.keys[j] = oldKeys[i]
+				h.vals[j] = oldVals[i]
+				h.n++
+				break
+			}
+		}
+	}
+}

@@ -1,13 +1,20 @@
 // Package join implements the m-way sliding window join operator of Alg. 2
 // together with a small conjunctive-condition planner that supports the
 // paper's requirement of "arbitrary join conditions": conjunctions of
-// equi-predicates (executed via per-window hash indexes) and arbitrary Go
-// predicates such as the soccer query's dist() < 5 (executed by filtering
-// enumerated combinations).
+// equi-predicates (executed via per-window hash indexes), typed band
+// predicates |S_l.a − S_r.a| ≤ ε (executed via per-window sorted range
+// indexes), and arbitrary Go predicates such as the soccer query's exact
+// dist() < 5 check (executed by filtering enumerated combinations).
+//
+// Band predicates are the planner's answer to distance-style queries: a 2-D
+// proximity join decomposes into two bands (one per coordinate) plus a
+// cheap generic residual for the exact circle, turning an O(window) closure
+// scan into an O(log n + matches) indexed probe.
 package join
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/stream"
 )
@@ -16,6 +23,14 @@ import (
 type EquiPredicate struct {
 	LeftStream, LeftAttr   int
 	RightStream, RightAttr int
+}
+
+// BandPredicate asserts |S_Left.Attr(LeftAttr) − S_Right.Attr(RightAttr)| ≤
+// Eps (a closed band). NaN attribute values never satisfy a band.
+type BandPredicate struct {
+	LeftStream, LeftAttr   int
+	RightStream, RightAttr int
+	Eps                    float64
 }
 
 // GenericPredicate is an arbitrary boolean predicate over a subset of the
@@ -27,11 +42,12 @@ type GenericPredicate struct {
 	Eval    func(assign []*stream.Tuple) bool
 }
 
-// Condition is a conjunction of equi- and generic predicates over M streams.
-// An empty condition is the cross join.
+// Condition is a conjunction of equi-, band- and generic predicates over M
+// streams. An empty condition is the cross join.
 type Condition struct {
 	M        int
 	Equis    []EquiPredicate
+	Bands    []BandPredicate
 	Generics []GenericPredicate
 }
 
@@ -50,6 +66,22 @@ func (c *Condition) Equi(ls, la, rs, ra int) *Condition {
 		panic(fmt.Sprintf("join: invalid equi-predicate streams (%d,%d) for m=%d", ls, rs, c.M))
 	}
 	c.Equis = append(c.Equis, EquiPredicate{ls, la, rs, ra})
+	return c
+}
+
+// Band adds the band predicate |S_ls.attr(la) − S_rs.attr(ra)| ≤ eps and
+// returns the condition for chaining. The planner resolves band predicates
+// to sorted range-index probes; prefer Band over an equivalent Where
+// whenever the condition has this shape. It panics on invalid stream
+// indexes or a non-finite/negative eps, which are planning bugs.
+func (c *Condition) Band(ls, la, rs, ra int, eps float64) *Condition {
+	if ls < 0 || ls >= c.M || rs < 0 || rs >= c.M || ls == rs {
+		panic(fmt.Sprintf("join: invalid band-predicate streams (%d,%d) for m=%d", ls, rs, c.M))
+	}
+	if math.IsNaN(eps) || math.IsInf(eps, 0) || eps < 0 {
+		panic(fmt.Sprintf("join: band epsilon must be finite and non-negative, got %v", eps))
+	}
+	c.Bands = append(c.Bands, BandPredicate{ls, la, rs, ra, eps})
 	return c
 }
 
@@ -99,7 +131,26 @@ func (c *Condition) IndexedAttrs() [][]int {
 		sets[p.LeftStream][p.LeftAttr] = true
 		sets[p.RightStream][p.RightAttr] = true
 	}
-	out := make([][]int, c.M)
+	return attrSets(sets)
+}
+
+// RangeAttrs returns, per stream, the set of attribute positions that
+// appear in band predicates and therefore need sorted range indexes on the
+// window.
+func (c *Condition) RangeAttrs() [][]int {
+	sets := make([]map[int]bool, c.M)
+	for i := range sets {
+		sets[i] = map[int]bool{}
+	}
+	for _, p := range c.Bands {
+		sets[p.LeftStream][p.LeftAttr] = true
+		sets[p.RightStream][p.RightAttr] = true
+	}
+	return attrSets(sets)
+}
+
+func attrSets(sets []map[int]bool) [][]int {
+	out := make([][]int, len(sets))
 	for i, s := range sets {
 		for a := range s {
 			out[i] = append(out[i], a)
@@ -114,6 +165,13 @@ func (c *Condition) IndexedAttrs() [][]int {
 func (c *Condition) Matches(assign []*stream.Tuple) bool {
 	for _, p := range c.Equis {
 		if assign[p.LeftStream].Attr(p.LeftAttr) != assign[p.RightStream].Attr(p.RightAttr) {
+			return false
+		}
+	}
+	for _, p := range c.Bands {
+		d := assign[p.LeftStream].Attr(p.LeftAttr) - assign[p.RightStream].Attr(p.RightAttr)
+		// The negated form keeps NaN (all comparisons false) out of the band.
+		if !(d >= -p.Eps && d <= p.Eps) {
 			return false
 		}
 	}

@@ -1,6 +1,8 @@
 package join
 
 import (
+	"math"
+
 	"repro/internal/stream"
 	"repro/internal/window"
 )
@@ -53,7 +55,8 @@ type Option func(*Operator)
 
 // WithEmit registers a callback receiving every produced result. Without it
 // the operator only counts results, enabling a faster counting-only probe
-// path for purely equi-join conditions.
+// path for conditions resolved entirely by indexes (equi and band
+// predicates, no generic residual).
 func WithEmit(f EmitFunc) Option { return func(o *Operator) { o.emit = f } }
 
 // WithCountEmit registers a per-arrival result-count callback. Unlike
@@ -70,6 +73,7 @@ func New(cond *Condition, sizes []stream.Time, opts ...Option) *Operator {
 		panic("join: window sizes must match condition arity")
 	}
 	idx := cond.IndexedAttrs()
+	rng := cond.RangeAttrs()
 	o := &Operator{
 		cond:      cond,
 		plans:     buildPlans(cond),
@@ -82,7 +86,7 @@ func New(cond *Condition, sizes []stream.Time, opts ...Option) *Operator {
 		if w <= 0 {
 			panic("join: window size must be positive")
 		}
-		o.windows[i] = window.New(w, idx[i]...)
+		o.windows[i] = window.NewIndexed(w, idx[i], rng[i])
 	}
 	for _, opt := range opts {
 		opt(o)
@@ -141,9 +145,11 @@ func (o *Operator) Process(e *stream.Tuple) {
 	}
 	// Out-of-order tuple: skip expiration and probing. Insert only if it is
 	// still within the current scope of its own window so it can contribute
-	// to future results (lines 9–10).
+	// to future results (lines 9–10). The scope at watermark onT is the
+	// closed interval [onT − W, onT] — Expire removes only TS < onT − W, so
+	// a late tuple at exactly onT − W is still in scope and must be kept.
 	o.outOfOrder++
-	if e.TS > o.onT-o.windows[e.Src].Size() {
+	if e.TS >= o.onT-o.windows[e.Src].Size() {
 		o.windows[e.Src].Insert(e)
 	}
 	if o.onProcessed != nil {
@@ -171,13 +177,13 @@ func (o *Operator) search(p plan, lvl int, assign []*stream.Tuple) int64 {
 		}
 		return 1
 	}
-	st := p[lvl]
+	st := &p[lvl]
 	// Counting-only fast path: when the remaining steps are mutually
 	// independent and no results need materializing, multiply counts.
 	if st.countableTail && o.emit == nil {
 		var prod int64 = 1
 		for j := lvl; j < len(p); j++ {
-			prod *= o.candidateCount(p[j], assign)
+			prod *= o.candidateCount(&p[j], assign)
 			if prod == 0 {
 				return 0
 			}
@@ -195,31 +201,84 @@ func (o *Operator) search(p plan, lvl int, assign []*stream.Tuple) int64 {
 	return n
 }
 
-// candidates returns the window tuples on st.stream compatible with the
-// bound lookups of the step. With at least one lookup the first index is
-// probed and remaining lookups filter into the level's reusable scratch
-// buffer; with none the whole window scans.
-func (o *Operator) candidates(st step, lvl int, assign []*stream.Tuple) []*stream.Tuple {
+// baseCandidates selects the step's base candidate set — the first hash
+// lookup when the step has equi predicates (generally most selective), the
+// first range lookup otherwise, the whole window with neither — and
+// returns the residual lookups still to be filtered. Both Match and the
+// range probe return contiguous views of index storage, so nothing is
+// copied here.
+//
+// A range probe is a *superset* pre-filter: its bounds c ± eps are rounded
+// and therefore widened by a small relative slack (bandRange), and ALL
+// band lookups — including the one just probed — stay in the residual set
+// so the exact difference-form check of stepFilter decides membership.
+// This keeps planned execution bit-for-bit consistent with the
+// Condition.Matches reference semantics (and with internal/dist's residual
+// band filters) even for attribute values within rounding distance of a
+// band edge.
+func (o *Operator) baseCandidates(st *step, assign []*stream.Tuple) (base []*stream.Tuple, extraEq []lookup, extraBands []bandLookup) {
 	w := o.windows[st.stream]
-	if len(st.lookups) == 0 {
-		return w.All()
+	switch {
+	case len(st.lookups) > 0:
+		l0 := st.lookups[0]
+		base = w.Match(l0.ownAttr, assign[l0.boundStream].Attr(l0.boundAttr))
+		return base, st.lookups[1:], st.bands
+	case len(st.bands) > 0:
+		b0 := st.bands[0]
+		lo, hi, ok := bandRange(assign[b0.boundStream].Attr(b0.boundAttr), b0.eps)
+		if !ok {
+			return nil, nil, nil
+		}
+		return w.MatchRange(b0.ownAttr, lo, hi), nil, st.bands
+	default:
+		return w.All(), nil, nil
 	}
-	l0 := st.lookups[0]
-	base := w.Match(l0.ownAttr, assign[l0.boundStream].Attr(l0.boundAttr))
-	if len(st.lookups) == 1 {
+}
+
+// bandRange returns index-probe bounds guaranteed to cover every value a
+// with fl(a − c) ∈ [−eps, eps]. The naive bounds fl(c−eps), fl(c+eps) can
+// round past values the difference form accepts (and vice versa), so they
+// are widened by a relative slack of ~5 ulps of the larger magnitude; the
+// exact difference check in stepFilter then discards the overshoot. A
+// non-finite center can never band-match a stored (finite) key and
+// reports !ok.
+func bandRange(c, eps float64) (lo, hi float64, ok bool) {
+	if math.IsNaN(c) || math.IsInf(c, 0) {
+		return 0, 0, false
+	}
+	slack := (math.Abs(c) + eps) * 1e-15
+	return c - eps - slack, c + eps + slack, true
+}
+
+// stepFilter applies the step's residual lookups to one candidate.
+func stepFilter(cand *stream.Tuple, eqs []lookup, bands []bandLookup, assign []*stream.Tuple) bool {
+	for _, l := range eqs {
+		if cand.Attr(l.ownAttr) != assign[l.boundStream].Attr(l.boundAttr) {
+			return false
+		}
+	}
+	for _, b := range bands {
+		d := cand.Attr(b.ownAttr) - assign[b.boundStream].Attr(b.boundAttr)
+		// Negated form: NaN (all comparisons false) never band-matches.
+		if !(d >= -b.eps && d <= b.eps) {
+			return false
+		}
+	}
+	return true
+}
+
+// candidates returns the window tuples on st.stream compatible with the
+// bound lookups of the step, filtering residual lookups into the level's
+// reusable scratch buffer.
+func (o *Operator) candidates(st *step, lvl int, assign []*stream.Tuple) []*stream.Tuple {
+	base, extraEq, extraBands := o.baseCandidates(st, assign)
+	if len(extraEq) == 0 && len(extraBands) == 0 {
 		return base
 	}
 	old := o.scratch[lvl]
 	out := old[:0]
 	for _, cand := range base {
-		ok := true
-		for _, l := range st.lookups[1:] {
-			if cand.Attr(l.ownAttr) != assign[l.boundStream].Attr(l.boundAttr) {
-				ok = false
-				break
-			}
-		}
-		if ok {
+		if stepFilter(cand, extraEq, extraBands, assign) {
 			out = append(out, cand)
 		}
 	}
@@ -232,27 +291,17 @@ func (o *Operator) candidates(st step, lvl int, assign []*stream.Tuple) []*strea
 	return out
 }
 
-// candidateCount counts candidates without materializing them when possible.
-func (o *Operator) candidateCount(st step, assign []*stream.Tuple) int64 {
-	w := o.windows[st.stream]
-	if len(st.lookups) == 0 {
-		return int64(w.Len())
-	}
-	l0 := st.lookups[0]
-	base := w.Match(l0.ownAttr, assign[l0.boundStream].Attr(l0.boundAttr))
-	if len(st.lookups) == 1 {
+// candidateCount counts candidates without materializing them: a pure equi
+// step counts its hash bucket in O(1), a band step counts the (widened)
+// range view through the exact residual filter in O(box matches).
+func (o *Operator) candidateCount(st *step, assign []*stream.Tuple) int64 {
+	base, extraEq, extraBands := o.baseCandidates(st, assign)
+	if len(extraEq) == 0 && len(extraBands) == 0 {
 		return int64(len(base))
 	}
 	var n int64
 	for _, cand := range base {
-		ok := true
-		for _, l := range st.lookups[1:] {
-			if cand.Attr(l.ownAttr) != assign[l.boundStream].Attr(l.boundAttr) {
-				ok = false
-				break
-			}
-		}
-		if ok {
+		if stepFilter(cand, extraEq, extraBands, assign) {
 			n++
 		}
 	}
@@ -260,7 +309,7 @@ func (o *Operator) candidateCount(st step, assign []*stream.Tuple) int64 {
 }
 
 // stepChecks evaluates the generic predicates that became fully bound.
-func (o *Operator) stepChecks(st step, assign []*stream.Tuple) bool {
+func (o *Operator) stepChecks(st *step, assign []*stream.Tuple) bool {
 	for _, gi := range st.checks {
 		if !o.cond.Generics[gi].Eval(assign) {
 			return false

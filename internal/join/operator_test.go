@@ -89,14 +89,39 @@ func TestOutOfOrderTupleStillContributes(t *testing.T) {
 	}
 }
 
-// TestOutOfOrderBeyondWindowDropped: a late tuple outside its own window
-// scope is not inserted.
+// TestOutOfOrderBeyondWindowDropped: a late tuple strictly outside its own
+// window scope is not inserted.
 func TestOutOfOrderBeyondWindowDropped(t *testing.T) {
 	op, _ := collectOp(letterCond(), []stream.Time{2, 2})
 	op.Process(tup(0, 10, 0, 1))
-	op.Process(tup(0, 7, 1, 1)) // 7 ≤ 10−2 → dropped entirely
+	op.Process(tup(0, 7, 1, 1)) // 7 < 10−2 → dropped entirely
 	if op.WindowLen(0) != 1 {
 		t.Fatalf("window holds %d tuples, want 1", op.WindowLen(0))
+	}
+}
+
+// TestOutOfOrderAtScopeBoundaryKept is the regression test for the expiry
+// off-by-one: the window scope at watermark onT is the closed interval
+// [onT − W, onT] (Expire removes only TS < onT − W), so a late tuple with
+// TS exactly onT − W is still in scope, must be inserted, and must derive
+// results for later arrivals.
+func TestOutOfOrderAtScopeBoundaryKept(t *testing.T) {
+	const key = 7.0
+	w := []stream.Time{10, 10}
+	op, out := collectOp(letterCond(), w)
+	op.Process(tup(1, 10, 0, key)) // advances onT to 10
+	op.Process(tup(0, 0, 1, key))  // late, TS == onT − W == 0: in scope
+	if op.WindowLen(0) != 1 {
+		t.Fatalf("boundary tuple dropped: window 0 holds %d tuples, want 1", op.WindowLen(0))
+	}
+	// An in-order arrival at onT probes window 0: Expire(10−10 = 0) keeps
+	// the boundary tuple (expired means strictly older), so it must join.
+	op.Process(tup(1, 10, 2, key))
+	if len(*out) != 1 {
+		t.Fatalf("boundary tuple derived %d results, want 1", len(*out))
+	}
+	if (*out)[0].TS != 10 {
+		t.Fatalf("result ts = %d, want 10", (*out)[0].TS)
 	}
 }
 

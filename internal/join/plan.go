@@ -2,22 +2,34 @@ package join
 
 // The planner compiles, for each possible arriving stream, a probe order over
 // the remaining streams. Each probe step carries the index lookups that
-// become available once earlier streams are bound and the generic predicates
-// that become fully bound after the step. Finding the *optimal* join order is
-// orthogonal to the paper (Sec. II-A); the greedy connected-first order below
-// matches what MJoin-style systems do by default.
+// become available once earlier streams are bound — hash lookups for
+// equi-predicates and range lookups for band predicates — and the generic
+// predicates that become fully bound after the step. Finding the *optimal*
+// join order is orthogonal to the paper (Sec. II-A); the greedy
+// connected-first order below matches what MJoin-style systems do by
+// default, preferring equi connections (hash probe) over band connections
+// (range probe) when both are available.
 
-// lookup keys the probed stream's ownAttr index with the value of
+// lookup keys the probed stream's ownAttr hash index with the value of
 // boundStream.Attr(boundAttr) from the current partial assignment.
 type lookup struct {
 	boundStream, boundAttr int
 	ownAttr                int
 }
 
+// bandLookup probes the stream's ownAttr range index for values within eps
+// of boundStream.Attr(boundAttr): |own − bound| ≤ eps.
+type bandLookup struct {
+	boundStream, boundAttr int
+	ownAttr                int
+	eps                    float64
+}
+
 // step probes one stream.
 type step struct {
 	stream  int
 	lookups []lookup
+	bands   []bandLookup
 	checks  []int // indexes into Condition.Generics fully bound after this step
 	// countableTail is true when this step and every later step reference
 	// only streams bound before this step and carry no generic checks; in
@@ -54,6 +66,14 @@ func buildPlan(c *Condition, arriving int) plan {
 				st.lookups = append(st.lookups, lookup{e.LeftStream, e.LeftAttr, e.RightAttr})
 			}
 		}
+		for _, b := range c.Bands {
+			switch {
+			case b.LeftStream == next && bound[b.RightStream]:
+				st.bands = append(st.bands, bandLookup{b.RightStream, b.RightAttr, b.LeftAttr, b.Eps})
+			case b.RightStream == next && bound[b.LeftStream]:
+				st.bands = append(st.bands, bandLookup{b.LeftStream, b.LeftAttr, b.RightAttr, b.Eps})
+			}
+		}
 		bound[next] = true
 		for gi, g := range c.Generics {
 			if assigned[gi] {
@@ -77,9 +97,11 @@ func buildPlan(c *Condition, arriving int) plan {
 	return p
 }
 
-// pickNext greedily prefers the unbound stream with the most equi-predicates
-// connecting it to the bound set (so index lookups narrow candidates as early
-// as possible), breaking ties by stream index.
+// pickNext greedily prefers the unbound stream with the most predicates
+// connecting it to the bound set (so index lookups narrow candidates as
+// early as possible), breaking ties by stream index. Equi connections
+// dominate band connections: a hash probe is generally more selective than
+// a range probe.
 func pickNext(c *Condition, bound []bool) int {
 	best, bestConn := -1, -1
 	for s := 0; s < c.M; s++ {
@@ -89,6 +111,11 @@ func pickNext(c *Condition, bound []bool) int {
 		conn := 0
 		for _, e := range c.Equis {
 			if (e.LeftStream == s && bound[e.RightStream]) || (e.RightStream == s && bound[e.LeftStream]) {
+				conn += 256
+			}
+		}
+		for _, b := range c.Bands {
+			if (b.LeftStream == s && bound[b.RightStream]) || (b.RightStream == s && bound[b.LeftStream]) {
 				conn++
 			}
 		}
@@ -115,6 +142,12 @@ func markCountableTails(arriving int, p plan) {
 			}
 			for _, l := range p[j].lookups {
 				if !boundBefore[l.boundStream] {
+					ok = false
+					break
+				}
+			}
+			for _, b := range p[j].bands {
+				if !boundBefore[b.boundStream] {
 					ok = false
 					break
 				}

@@ -72,6 +72,60 @@ func TestPlanCrossJoinFullScans(t *testing.T) {
 	}
 }
 
+func TestPlanBandLookups(t *testing.T) {
+	// The soccer shape: two bands plus a generic residual. Each arrival's
+	// single step must carry both band lookups and the generic check, and
+	// must not be countable (pending check).
+	c := Cross(2).Band(0, 1, 1, 1, 5).Band(0, 2, 1, 2, 5).
+		Where([]int{0, 1}, func([]*stream.Tuple) bool { return true })
+	plans := buildPlans(c)
+	for s, p := range plans {
+		if len(p) != 1 {
+			t.Fatalf("plan %d has %d steps", s, len(p))
+		}
+		st := p[0]
+		if len(st.bands) != 2 || len(st.lookups) != 0 {
+			t.Fatalf("arrival %d: %d band / %d equi lookups, want 2/0", s, len(st.bands), len(st.lookups))
+		}
+		if len(st.checks) != 1 || st.countableTail {
+			t.Fatalf("arrival %d: generic residual must be scheduled and kill countability", s)
+		}
+		for _, b := range st.bands {
+			if b.boundStream != s {
+				t.Fatalf("band lookup must key off the arriving stream %d, got %d", s, b.boundStream)
+			}
+			if b.eps != 5 {
+				t.Fatalf("band eps = %v", b.eps)
+			}
+		}
+	}
+}
+
+func TestPlanPureBandCountable(t *testing.T) {
+	// Without the generic residual the single band step is countable: the
+	// operator can answer with a range-index count.
+	c := Cross(2).Band(0, 0, 1, 0, 1)
+	plans := buildPlans(c)
+	for s, p := range plans {
+		if !p[0].countableTail {
+			t.Fatalf("arrival %d: pure band step must be countable", s)
+		}
+	}
+}
+
+func TestPlanPrefersEquiOverBand(t *testing.T) {
+	// Stream 1 is band-connected, stream 2 equi-connected: the equi stream
+	// must be probed first (hash probes are generally more selective).
+	c := Cross(3).Band(0, 0, 1, 0, 1).Equi(0, 1, 2, 1)
+	p := buildPlans(c)[0]
+	if p[0].stream != 2 || p[1].stream != 1 {
+		t.Fatalf("probe order %d,%d — want equi-connected stream 2 first", p[0].stream, p[1].stream)
+	}
+	if len(p[0].lookups) != 1 || len(p[1].bands) != 1 {
+		t.Fatal("steps must carry their respective lookups")
+	}
+}
+
 func TestPlanGenericChecksPlacement(t *testing.T) {
 	// A predicate over streams {0, 2} must be checked at the level where
 	// stream 2 binds, and its presence kills countability of every level up

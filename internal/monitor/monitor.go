@@ -53,12 +53,15 @@ func (m *Monitor) AddResults(ts stream.Time, n int64) {
 	m.produced += n
 }
 
-// Advance prunes results whose timestamps have fallen out of the window
-// (ts ≤ now − span). Points are appended in near-timestamp order, so the
-// prune walks the live prefix.
+// Advance prunes results whose timestamps have fallen out of the window.
+// The boundary convention is shared with the join operator's windows
+// (scope [now − span, now], expired means strictly older): a result at
+// exactly now − span is still counted, only ts < now − span is pruned.
+// Points are appended in near-timestamp order, so the prune walks the live
+// prefix.
 func (m *Monitor) Advance(now stream.Time) {
 	bound := now - m.span
-	for m.head < len(m.points) && m.points[m.head].ts <= bound {
+	for m.head < len(m.points) && m.points[m.head].ts < bound {
 		m.produced -= m.points[m.head].n
 		m.head++
 	}

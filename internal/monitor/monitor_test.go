@@ -11,29 +11,40 @@ func TestProducedWindow(t *testing.T) {
 	m.AddResults(10, 3)
 	m.AddResults(50, 2)
 	m.AddResults(120, 1)
-	m.Advance(150) // window (50, 150]: drops ts 10 and ts 50
+	m.Advance(150) // window [50, 150]: drops ts 10, keeps ts 50
+	if m.Produced() != 3 {
+		t.Fatalf("Produced = %d, want 3", m.Produced())
+	}
+	m.Advance(220) // drops ts 50; ts 120 == bound stays
 	if m.Produced() != 1 {
 		t.Fatalf("Produced = %d, want 1", m.Produced())
 	}
-	m.Advance(220) // drops ts 120
+	m.Advance(221) // now ts 120 is strictly older than the bound
 	if m.Produced() != 0 {
 		t.Fatalf("Produced = %d, want 0", m.Produced())
 	}
 }
 
 func TestBoundaryInclusive(t *testing.T) {
-	// Advance prunes ts ≤ now − span, keeping the half-open (now−span, now].
+	// The framework-wide boundary convention: scope is the closed interval
+	// [now − span, now] and expired means strictly older, matching the join
+	// operator's window scope [onT − W, onT]. A result at exactly the
+	// boundary is still in the window.
 	m := New(100, 0)
 	m.AddResults(100, 1)
-	m.Advance(200) // bound = 100 → ts 100 drops
+	m.Advance(200) // bound = 100 → ts 100 stays (expired means ts < bound)
+	if m.Produced() != 1 {
+		t.Fatalf("ts == bound must be kept, Produced = %d", m.Produced())
+	}
+	m.Advance(201) // now ts 100 < 101 → pruned
 	if m.Produced() != 0 {
-		t.Fatalf("ts == bound must be pruned, Produced = %d", m.Produced())
+		t.Fatalf("ts below bound must be pruned, Produced = %d", m.Produced())
 	}
 	m2 := New(100, 0)
-	m2.AddResults(101, 1)
+	m2.AddResults(99, 1)
 	m2.Advance(200)
-	if m2.Produced() != 1 {
-		t.Fatalf("ts inside window must stay, Produced = %d", m2.Produced())
+	if m2.Produced() != 0 {
+		t.Fatalf("ts outside window must be pruned, Produced = %d", m2.Produced())
 	}
 }
 
@@ -78,7 +89,8 @@ func TestCompaction(t *testing.T) {
 		m.AddResults(stream.Time(i), 1)
 		m.Advance(stream.Time(i))
 	}
-	if m.Produced() > 10 {
-		t.Fatalf("window of 10 should retain ≤10 results, got %d", m.Produced())
+	// The closed scope [now−10, now] spans 11 integer timestamps.
+	if m.Produced() > 11 {
+		t.Fatalf("window of 10 should retain ≤11 results, got %d", m.Produced())
 	}
 }

@@ -3,8 +3,11 @@
 //
 // A window stores the tuples whose timestamps are still within the window
 // scope, keeps them ordered by timestamp for cheap expiration, and maintains
-// hash indexes on the attributes used by equi-join predicates so probing is
-// O(matches) instead of O(window).
+// per-attribute indexes for the planner's lookup steps: hash indexes on the
+// attributes used by equi-join predicates (probing is O(matches) instead of
+// O(window)) and sorted range indexes on the attributes used by band
+// predicates |S_l.a − S_r.a| ≤ ε (probing is O(log n + matches)). Both live
+// in the shared internal/index package.
 //
 // # Hot-path design
 //
@@ -28,21 +31,13 @@
 //     memory tracks the live tuple count; the copy is amortized O(1) per
 //     expired tuple.
 //
-// Hash-index maintenance is O(1) per tuple: each index keeps, besides its
-// buckets, the position of every tuple inside its bucket, so expiration
-// swap-deletes without scanning. The buckets live in an open-addressed
-// table keyed by the attribute's float64 bit pattern with a multiplicative
-// hash — profiling showed the runtime map's hashing dominating the probe
-// path — and emptied buckets stay in place with their capacity until the
-// next table growth recycles them, so steady-state sliding over a stable
-// key domain allocates nothing.
+// Index maintenance is O(1) per tuple for hash indexes (swap-delete via
+// per-tuple positions) and O(log n) search + small memmove for range
+// indexes; see internal/index for the cost model.
 package window
 
 import (
-	"math"
-	"math/bits"
-	"sort"
-
+	"repro/internal/index"
 	"repro/internal/stream"
 )
 
@@ -52,30 +47,43 @@ const compactMinDead = 64
 
 // Window is a time-based sliding window of size W over one input stream.
 type Window struct {
-	size    stream.Time
-	buf     []*stream.Tuple // live region buf[head:], ordered by (TS, Seq)
-	head    int
-	indexes []index
+	size   stream.Time
+	buf    []*stream.Tuple // live region buf[head:], ordered by (TS, Seq)
+	head   int
+	hashes []hashIndex
+	ranges []rangeIndex
 }
 
-// index is one hash index: buckets by attribute value plus each tuple's
-// position in its bucket for O(1) swap-delete.
-type index struct {
+// hashIndex is one equi index: buckets by the attribute's canonical float
+// bits, swap-delete on expiry.
+type hashIndex struct {
 	attr int
-	tab  table
-	pos  map[*stream.Tuple]int
+	tab  *index.Hash[*stream.Tuple]
+}
+
+// rangeIndex is one band index: tuples in attribute order, range probes
+// return contiguous views.
+type rangeIndex struct {
+	attr int
+	tab  *index.Sorted[*stream.Tuple]
 }
 
 // New creates a window of the given size with hash indexes on the listed
 // attribute positions.
-func New(size stream.Time, indexedAttrs ...int) *Window {
+func New(size stream.Time, hashAttrs ...int) *Window {
+	return NewIndexed(size, hashAttrs, nil)
+}
+
+// NewIndexed creates a window with hash indexes on hashAttrs (equi
+// predicates) and sorted range indexes on rangeAttrs (band predicates). An
+// attribute may appear in both lists.
+func NewIndexed(size stream.Time, hashAttrs, rangeAttrs []int) *Window {
 	w := &Window{size: size}
-	for _, a := range indexedAttrs {
-		w.indexes = append(w.indexes, index{
-			attr: a,
-			tab:  newTable(),
-			pos:  map[*stream.Tuple]int{},
-		})
+	for _, a := range hashAttrs {
+		w.hashes = append(w.hashes, hashIndex{attr: a, tab: index.NewHash[*stream.Tuple]()})
+	}
+	for _, a := range rangeAttrs {
+		w.ranges = append(w.ranges, rangeIndex{attr: a, tab: &index.Sorted[*stream.Tuple]{}})
 	}
 	return w
 }
@@ -100,8 +108,13 @@ func (w *Window) Insert(t *stream.Tuple) {
 	} else {
 		w.insertSlow(t)
 	}
-	for i := range w.indexes {
-		w.indexes[i].add(t)
+	for i := range w.hashes {
+		if k, ok := index.KeyBits(t.Attr(w.hashes[i].attr)); ok {
+			w.hashes[i].tab.Add(k, t)
+		}
+	}
+	for i := range w.ranges {
+		w.ranges[i].tab.Add(t.Attr(w.ranges[i].attr), t)
 	}
 }
 
@@ -110,7 +123,7 @@ func (w *Window) Insert(t *stream.Tuple) {
 // left shifts.
 func (w *Window) insertSlow(t *stream.Tuple) {
 	lo, n := w.head, len(w.buf)
-	i := lo + sort.Search(n-lo, func(k int) bool { return stream.Less(t, w.buf[lo+k]) })
+	i := lo + searchTuples(w.buf[lo:], t)
 	if w.head > 0 && i-w.head <= n-i {
 		copy(w.buf[w.head-1:i-1], w.buf[w.head:i])
 		w.head--
@@ -122,14 +135,37 @@ func (w *Window) insertSlow(t *stream.Tuple) {
 	w.buf[i] = t
 }
 
+// searchTuples returns the insertion point of t in the (TS, Seq)-sorted
+// slice s.
+func searchTuples(s []*stream.Tuple, t *stream.Tuple) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if stream.Less(t, s[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
 // Expire removes every tuple with TS < bound (line 6 of Alg. 2, with
 // bound = e.ts − W of the arriving tuple) and returns how many were removed.
+// The boundary convention is shared across the framework: the window scope
+// at watermark onT is the closed interval [onT − W, onT], so a tuple with
+// TS == bound is still in scope and "expired" means strictly older.
 func (w *Window) Expire(bound stream.Time) int {
 	h := w.head
 	for h < len(w.buf) && w.buf[h].TS < bound {
 		t := w.buf[h]
-		for i := range w.indexes {
-			w.indexes[i].remove(t)
+		for i := range w.hashes {
+			if k, ok := index.KeyBits(t.Attr(w.hashes[i].attr)); ok {
+				w.hashes[i].tab.Remove(k, t)
+			}
+		}
+		for i := range w.ranges {
+			w.ranges[i].tab.Remove(t.Attr(w.ranges[i].attr), t)
 		}
 		w.buf[h] = nil
 		h++
@@ -162,25 +198,59 @@ func (w *Window) compact() {
 }
 
 // Match returns the tuples whose indexed attribute equals key. It panics if
-// the attribute was not registered at construction time, which is a planning
-// bug rather than a data condition.
+// the attribute has no hash index, which is a planning bug rather than a
+// data condition.
 func (w *Window) Match(attr int, key float64) []*stream.Tuple {
-	for i := range w.indexes {
-		if w.indexes[i].attr == attr {
-			b, ok := keyBits(key)
+	for i := range w.hashes {
+		if w.hashes[i].attr == attr {
+			b, ok := index.KeyBits(key)
 			if !ok {
 				return nil // NaN never equi-matches
 			}
-			return w.indexes[i].tab.get(b)
+			return w.hashes[i].tab.Get(b)
 		}
 	}
 	panic("window: probe on unindexed attribute")
 }
 
+// MatchRange returns the tuples whose indexed attribute lies in [lo, hi] as
+// a contiguous view in attribute order; callers must not mutate or retain it
+// across Insert/Expire calls. It panics if the attribute has no range index.
+// NaN bounds yield an empty range.
+func (w *Window) MatchRange(attr int, lo, hi float64) []*stream.Tuple {
+	for i := range w.ranges {
+		if w.ranges[i].attr == attr {
+			return w.ranges[i].tab.Range(lo, hi)
+		}
+	}
+	panic("window: range probe on unindexed attribute")
+}
+
+// CountRange returns how many tuples have the indexed attribute in [lo, hi].
+// It panics if the attribute has no range index.
+func (w *Window) CountRange(attr int, lo, hi float64) int {
+	for i := range w.ranges {
+		if w.ranges[i].attr == attr {
+			return w.ranges[i].tab.CountRange(lo, hi)
+		}
+	}
+	panic("window: range count on unindexed attribute")
+}
+
 // Indexed reports whether attr has a hash index.
 func (w *Window) Indexed(attr int) bool {
-	for i := range w.indexes {
-		if w.indexes[i].attr == attr {
+	for i := range w.hashes {
+		if w.hashes[i].attr == attr {
+			return true
+		}
+	}
+	return false
+}
+
+// RangeIndexed reports whether attr has a sorted range index.
+func (w *Window) RangeIndexed(attr int) bool {
+	for i := range w.ranges {
+		if w.ranges[i].attr == attr {
 			return true
 		}
 	}
@@ -194,154 +264,10 @@ func (w *Window) Reset() {
 	}
 	w.buf = w.buf[:0]
 	w.head = 0
-	for i := range w.indexes {
-		w.indexes[i].tab = newTable()
-		clear(w.indexes[i].pos)
+	for i := range w.hashes {
+		w.hashes[i].tab.Reset()
 	}
-}
-
-// keyBits canonicalizes a float64 attribute value for bit-pattern hashing:
-// ±0 collapse to one key, and NaN (which never compares equal, so can never
-// equi-match) reports !ok.
-func keyBits(f float64) (uint64, bool) {
-	if f == 0 {
-		return 0, true
-	}
-	if f != f {
-		return 0, false
-	}
-	return math.Float64bits(f), true
-}
-
-// add appends t to its bucket, recording its position.
-func (ix *index) add(t *stream.Tuple) {
-	k, ok := keyBits(t.Attr(ix.attr))
-	if !ok {
-		return
-	}
-	b := ix.tab.bucket(k)
-	ix.pos[t] = len(*b)
-	*b = append(*b, t)
-}
-
-// remove swap-deletes t from its bucket in O(1) using the recorded position.
-// Emptied buckets keep their table slot and capacity; the next growth sweep
-// drops them.
-func (ix *index) remove(t *stream.Tuple) {
-	k, ok := keyBits(t.Attr(ix.attr))
-	if !ok {
-		return
-	}
-	b := ix.tab.bucket(k)
-	p := ix.pos[t]
-	last := len(*b) - 1
-	if p != last {
-		moved := (*b)[last]
-		(*b)[p] = moved
-		ix.pos[moved] = p
-	}
-	(*b)[last] = nil
-	*b = (*b)[:last]
-	delete(ix.pos, t)
-}
-
-// table is an open-addressed hash map from canonical float64 key bits to
-// tuple buckets: linear probing, fibonacci hashing, power-of-two capacity.
-// It exists because the probe path does several lookups per tuple and the
-// runtime map's generic float hashing dominated CPU profiles; a multiply
-// and shift is an order of magnitude cheaper.
-type table struct {
-	keys  []uint64
-	vals  [][]*stream.Tuple
-	used  []bool
-	n     int // occupied slots, including empty-bucket (dead) ones
-	shift uint
-}
-
-const tableMinCap = 16
-
-func newTable() table {
-	return table{
-		keys:  make([]uint64, tableMinCap),
-		vals:  make([][]*stream.Tuple, tableMinCap),
-		used:  make([]bool, tableMinCap),
-		shift: 64 - 4,
-	}
-}
-
-func (t *table) hash(bits uint64) uint64 {
-	return (bits * 0x9E3779B97F4A7C15) >> t.shift
-}
-
-// get returns the bucket for bits, or nil if absent.
-func (t *table) get(bits uint64) []*stream.Tuple {
-	mask := uint64(len(t.keys) - 1)
-	for i := t.hash(bits); ; i = (i + 1) & mask {
-		if !t.used[i] {
-			return nil
-		}
-		if t.keys[i] == bits {
-			return t.vals[i]
-		}
-	}
-}
-
-// bucket returns a pointer to the bucket slot for bits, claiming a slot if
-// the key is new. New buckets are pre-sized so the first few appends do not
-// reallocate.
-func (t *table) bucket(bits uint64) *[]*stream.Tuple {
-	if (t.n+1)*4 >= len(t.keys)*3 {
-		t.grow()
-	}
-	mask := uint64(len(t.keys) - 1)
-	for i := t.hash(bits); ; i = (i + 1) & mask {
-		if !t.used[i] {
-			t.used[i] = true
-			t.keys[i] = bits
-			t.n++
-			if t.vals[i] == nil {
-				t.vals[i] = make([]*stream.Tuple, 0, 4)
-			}
-			return &t.vals[i]
-		}
-		if t.keys[i] == bits {
-			return &t.vals[i]
-		}
-	}
-}
-
-// grow rehashes into a table sized for the live (non-empty) buckets at ≤50%
-// load, dropping dead entries accumulated since the last sweep.
-func (t *table) grow() {
-	live := 0
-	for i, u := range t.used {
-		if u && len(t.vals[i]) > 0 {
-			live++
-		}
-	}
-	newCap := tableMinCap
-	for newCap < 4*(live+1) {
-		newCap *= 2
-	}
-	old := *t
-	t.keys = make([]uint64, newCap)
-	t.vals = make([][]*stream.Tuple, newCap)
-	t.used = make([]bool, newCap)
-	t.n = 0
-	t.shift = 64 - uint(bits.TrailingZeros(uint(newCap)))
-	mask := uint64(newCap - 1)
-	for i, u := range old.used {
-		if !u || len(old.vals[i]) == 0 {
-			continue
-		}
-		for j := t.hash(old.keys[i]); ; j = (j + 1) & mask {
-			if !t.used[j] {
-				t.used[j] = true
-				t.keys[j] = old.keys[i]
-				t.vals[j] = old.vals[i]
-				t.n++
-				break
-			}
-		}
+	for i := range w.ranges {
+		w.ranges[i].tab.Reset()
 	}
 }

@@ -1,6 +1,7 @@
 package window
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -197,6 +198,84 @@ func TestSteadyStateInsertExpireDoesNotAllocate(t *testing.T) {
 	})
 	if allocs > 1 { // amortized growth may rarely trip; ~0 is the target
 		t.Fatalf("steady-state insert/expire allocated %v times per run", allocs)
+	}
+}
+
+// TestDifferentialRangeIndex replays random disordered batches through a
+// Window with a sorted range index and checks MatchRange/CountRange against
+// a linear scan of the reference content, including NaN attribute values
+// (never range-matched) and duplicate timestamps at the expiry edge.
+func TestDifferentialRangeIndex(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := NewIndexed(50, nil, []int{0})
+		r := newRef(0)
+		var seq uint64
+		var bound stream.Time
+		for op := 0; op < 500; op++ {
+			if rng.Intn(4) == 0 {
+				bound += stream.Time(rng.Intn(20))
+				if w.Expire(bound) != r.expire(bound) {
+					t.Logf("seed %d op %d: expire count mismatch", seed, op)
+					return false
+				}
+			} else {
+				// Duplicate timestamps right at the expiry bound are common:
+				// rng.Intn(60) == 0 pins the tuple to the boundary.
+				ts := bound + stream.Time(rng.Intn(60))
+				attr := float64(rng.Intn(9)) / 2
+				if rng.Intn(20) == 0 {
+					attr = math.NaN()
+				}
+				tp := &stream.Tuple{TS: ts, Seq: seq, Attrs: []float64{attr}}
+				seq++
+				w.Insert(tp)
+				r.insert(tp)
+			}
+			for probe := 0; probe < 4; probe++ {
+				lo := float64(rng.Intn(10))/2 - 0.5
+				hi := lo + float64(rng.Intn(5))/2
+				var want []*stream.Tuple
+				for _, tp := range r.items {
+					if v := tp.Attr(0); v >= lo && v <= hi {
+						want = append(want, tp)
+					}
+				}
+				got := w.MatchRange(0, lo, hi)
+				if len(got) != len(want) || w.CountRange(0, lo, hi) != len(want) {
+					t.Logf("seed %d op %d: range [%v,%v] = %d tuples, want %d",
+						seed, op, lo, hi, len(got), len(want))
+					return false
+				}
+				if !sameSet(got, want) {
+					t.Logf("seed %d op %d: range [%v,%v] content mismatch", seed, op, lo, hi)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRangeIndexNaNProbe: NaN probe bounds must match nothing, and
+// NaN-valued tuples must never appear in any range.
+func TestRangeIndexNaNProbe(t *testing.T) {
+	w := NewIndexed(100, nil, []int{0})
+	w.Insert(&stream.Tuple{TS: 1, Seq: 0, Attrs: []float64{math.NaN()}})
+	w.Insert(&stream.Tuple{TS: 2, Seq: 1, Attrs: []float64{3}})
+	if got := w.MatchRange(0, math.NaN(), 10); len(got) != 0 {
+		t.Fatal("NaN lo bound matched tuples")
+	}
+	if got := w.MatchRange(0, math.Inf(-1), math.Inf(1)); len(got) != 1 {
+		t.Fatalf("full range matched %d tuples, want 1 (NaN excluded)", len(got))
+	}
+	// Expiring the NaN tuple must not disturb the index.
+	w.Expire(2)
+	if got := w.CountRange(0, 0, 10); got != 1 {
+		t.Fatalf("after expiry CountRange = %d, want 1", got)
 	}
 }
 

@@ -160,6 +160,10 @@ func WithAdaptHook(f func(AdaptEvent)) JoinOption {
 // use RunChannel.
 type Join struct {
 	p *core.Pipeline
+	// hasSink records whether a results sink is installed — by WithResults
+	// at construction or by a RunChannel call; RunChannel refuses to
+	// silently replace it.
+	hasSink bool
 }
 
 // NewJoin creates a join over len(windows) streams. windows[i] is the
@@ -206,7 +210,7 @@ func NewJoin(cond *Condition, windows []Time, opt Options, jopts ...JoinOption) 
 		EmitCounts: jo.counts,
 		OnAdapt:    jo.onAdapt,
 	}
-	return &Join{p: core.New(cfg)}
+	return &Join{p: core.New(cfg), hasSink: jo.emit != nil}
 }
 
 // Push feeds one arriving tuple. Tuples carry their source stream in
@@ -231,10 +235,21 @@ func (j *Join) AvgK() float64 { return j.p.AvgK() }
 func (j *Join) Adaptations() int64 { return j.p.Adaptations() }
 
 // RunChannel consumes tuples from in on a dedicated goroutine and delivers
-// results on the returned channel, which closes after the input closes and
-// all buffers have flushed. The join must have been created with no
-// WithResults sink.
+// results on the returned channel. The channel closes only after the input
+// channel closes AND all disorder-handling buffers have flushed, so every
+// result — including those released by the final flush — is delivered
+// before the close.
+//
+// The join must have been created with no WithResults sink and RunChannel
+// must be called at most once: it installs its own emit callback, and
+// silently replacing an existing sink — the construction-time callback or
+// a previous RunChannel's channel — would leave that sink receiving
+// nothing. Both conflicts panic.
 func (j *Join) RunChannel(in <-chan *Tuple) <-chan Result {
+	if j.hasSink {
+		panic("qdhj: RunChannel on a Join that already has a results sink (WithResults at construction, or an earlier RunChannel) — results would silently stop reaching it; use one sink per Join")
+	}
+	j.hasSink = true
 	out := make(chan Result, 256)
 	j.p.SetEmit(func(r Result) { out <- r })
 	go func() {

@@ -145,6 +145,67 @@ func TestRunChannel(t *testing.T) {
 	}
 }
 
+// TestRunChannelPanicsOnWithResults: RunChannel must refuse to silently
+// replace a sink installed at construction time (documented behavior).
+func TestRunChannelPanicsOnWithResults(t *testing.T) {
+	j := NewJoin(EquiChain(2, 0), []Time{Second, Second},
+		Options{Policy: StaticSlack, StaticK: Second},
+		WithResults(func(Result) {}),
+	)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunChannel must panic when a WithResults sink is installed")
+		}
+	}()
+	j.RunChannel(make(chan *Tuple))
+}
+
+// TestRunChannelPanicsOnSecondCall: a second RunChannel would silently
+// steal the first channel's emit callback; it must panic instead.
+func TestRunChannelPanicsOnSecondCall(t *testing.T) {
+	j := NewJoin(EquiChain(2, 0), []Time{Second, Second},
+		Options{Policy: StaticSlack, StaticK: Second})
+	in := make(chan *Tuple)
+	out := j.RunChannel(in)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second RunChannel must panic")
+		}
+		close(in)
+		for range out {
+		}
+	}()
+	j.RunChannel(make(chan *Tuple))
+}
+
+// TestRunChannelFlushOrdering: results that are only released by the final
+// buffer flush (tuples still sitting in K-slack when the input closes) must
+// be delivered on the output channel before it closes.
+func TestRunChannelFlushOrdering(t *testing.T) {
+	// A large static K keeps both matching tuples buffered in K-slack until
+	// Close-time Flush: no result can be produced before the input closes.
+	j := NewJoin(EquiChain(2, 0), []Time{Second, Second},
+		Options{Policy: StaticSlack, StaticK: Minute})
+	in := make(chan *Tuple)
+	out := j.RunChannel(in)
+	in <- &Tuple{TS: 1000, Seq: 0, Src: 0, Attrs: []float64{7}}
+	in <- &Tuple{TS: 1100, Seq: 1, Src: 1, Attrs: []float64{7}}
+	close(in)
+	var got []Result
+	for r := range out { // closes only after Finish flushed everything
+		got = append(got, r)
+	}
+	if len(got) != 1 {
+		t.Fatalf("flush delivered %d results before close, want 1", len(got))
+	}
+	if got[0].TS != 1100 {
+		t.Fatalf("result ts = %d, want 1100", got[0].TS)
+	}
+	if j.Results() != 1 {
+		t.Fatalf("Results = %d, want 1", j.Results())
+	}
+}
+
 func TestTreeJoinAgreesWithJoin(t *testing.T) {
 	in := feed(1500, 5)
 	w := []Time{Second, Second}
