@@ -14,6 +14,7 @@
 package qdhj
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -242,6 +243,33 @@ func BenchmarkOperatorThroughput(b *testing.B) {
 			b.ReportMetric(float64(len(in)*b.N)/b.Elapsed().Seconds(), "tuples/s")
 			_ = n
 		})
+	}
+}
+
+// BenchmarkShardedOperatorThroughput measures the partition-parallel
+// execution path (WithShards) against the single-threaded operator above,
+// per workload and shard count. The planner picks equi hashing for x3,
+// band range cells for x2 and a partial-equi/broadcast hybrid for x4.
+func BenchmarkShardedOperatorThroughput(b *testing.B) {
+	for _, ds := range datasets(b) {
+		for _, shards := range []int{2, 4} {
+			ds, shards := ds, shards
+			b.Run(fmt.Sprintf("%s/shards=%d", ds.Name, shards), func(b *testing.B) {
+				in := ds.Arrivals
+				b.ResetTimer()
+				var n int64
+				for i := 0; i < b.N; i++ {
+					j := NewJoin(ds.Cond, ds.Windows, Options{Policy: NoSlack}, WithShards(shards))
+					for _, e := range in {
+						j.Push(e)
+					}
+					j.Close()
+					n = j.Results()
+				}
+				b.ReportMetric(float64(len(in)*b.N)/b.Elapsed().Seconds(), "tuples/s")
+				_ = n
+			})
+		}
 	}
 }
 

@@ -13,9 +13,12 @@
 // With -benchjson FILE the tool instead measures raw operator throughput
 // (the join executor without disorder handling) per dataset and writes a
 // machine-readable JSON report, so the repository's performance trajectory
-// can be recorded across PRs:
+// can be recorded across PRs. The report sweeps the sharded execution
+// layer over -shards (default 1,2,4,8; 1 is the classic single-threaded
+// path), recording the host's CPU budget alongside, since shard speedup is
+// bounded by available cores:
 //
-//	qdhjbench -benchjson BENCH_1.json
+//	qdhjbench -benchjson BENCH_3.json -shards 1,2,4,8
 package main
 
 import (
@@ -38,6 +41,7 @@ func main() {
 		seed      = flag.Int64("seed", 42, "generator seed")
 		datasets  = flag.String("datasets", "x2,x3,x4", "comma-separated dataset keys")
 		benchJSON = flag.String("benchjson", "", "write an operator-throughput JSON report to this file and exit")
+		shards    = flag.String("shards", "1,2,4,8", "comma-separated shard counts for the -benchjson sweep")
 	)
 	flag.Parse()
 
@@ -55,7 +59,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "datasets ready in %v\n\n", time.Since(start).Round(time.Millisecond))
 
 	if *benchJSON != "" {
-		if err := runBenchJSON(*benchJSON, *minutes, *seed, dss); err != nil {
+		if err := runBenchJSON(*benchJSON, *minutes, *seed, parseShards(*shards), dss); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
@@ -98,9 +102,27 @@ func main() {
 	fmt.Fprintf(os.Stderr, "total wall time %v\n", time.Since(start).Round(time.Millisecond))
 }
 
-// benchEntry is one dataset's throughput measurement.
+// parseShards parses the -shards list, defaulting to {1} on garbage.
+func parseShards(s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &n); err == nil && n >= 1 {
+			out = append(out, n)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{1}
+	}
+	return out
+}
+
+// benchEntry is one dataset × shard-count throughput measurement. Shards 1
+// is the classic single-threaded path (no shard runtime at all).
 type benchEntry struct {
 	Dataset        string  `json:"dataset"`
+	Shards         int     `json:"shards"`
+	Partition      string  `json:"partition,omitempty"`
 	Tuples         int     `json:"tuples"`
 	Results        int64   `json:"results"`
 	Seconds        float64 `json:"seconds"`
@@ -115,47 +137,60 @@ type benchReport struct {
 	GoVersion string       `json:"go_version"`
 	GOOS      string       `json:"goos"`
 	GOARCH    string       `json:"goarch"`
+	NumCPU    int          `json:"num_cpu"`
 	Minutes   float64      `json:"minutes"`
 	Seed      int64        `json:"seed"`
 	Entries   []benchEntry `json:"entries"`
 }
 
 // runBenchJSON measures raw MSWJ operator throughput (NoSlack policy,
-// counting-only probe path) on each dataset and writes the JSON report.
-func runBenchJSON(path string, minutes float64, seed int64, dss []*exp.Dataset) error {
+// counting-only probe path) on each dataset × shard count and writes the
+// JSON report.
+func runBenchJSON(path string, minutes float64, seed int64, shardCounts []int, dss []*exp.Dataset) error {
 	rep := benchReport{
-		Schema:    "qdhj-operator-throughput/1",
+		Schema:    "qdhj-operator-throughput/2",
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
 		Minutes:   minutes,
 		Seed:      seed,
 	}
 	for _, ds := range dss {
-		in := ds.Arrivals.Clone()
-		runtime.GC()
-		var m0, m1 runtime.MemStats
-		runtime.ReadMemStats(&m0)
-		t0 := time.Now()
-		j := qdhj.NewJoin(ds.Cond, ds.Windows, qdhj.Options{Policy: qdhj.NoSlack})
-		for _, e := range in {
-			j.Push(e)
+		for _, nShards := range shardCounts {
+			in := ds.Arrivals.Clone()
+			opts := []qdhj.JoinOption{}
+			part := ""
+			if nShards > 1 {
+				opts = append(opts, qdhj.WithShards(nShards))
+				part = ds.Cond.Partition().Mode.String()
+			}
+			runtime.GC()
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			t0 := time.Now()
+			j := qdhj.NewJoin(ds.Cond, ds.Windows, qdhj.Options{Policy: qdhj.NoSlack}, opts...)
+			for _, e := range in {
+				j.Push(e)
+			}
+			j.Close()
+			dt := time.Since(t0).Seconds()
+			runtime.ReadMemStats(&m1)
+			n := len(in)
+			rep.Entries = append(rep.Entries, benchEntry{
+				Dataset:        ds.Name,
+				Shards:         nShards,
+				Partition:      part,
+				Tuples:         n,
+				Results:        j.Results(),
+				Seconds:        dt,
+				TuplesPerSec:   float64(n) / dt,
+				AllocsPerTuple: float64(m1.Mallocs-m0.Mallocs) / float64(n),
+				BytesPerTuple:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(n),
+			})
+			fmt.Fprintf(os.Stderr, "%-22s shards=%d %9d tuples  %12.0f tuples/s  %6.2f allocs/tuple\n",
+				ds.Name, nShards, n, float64(n)/dt, float64(m1.Mallocs-m0.Mallocs)/float64(n))
 		}
-		j.Close()
-		dt := time.Since(t0).Seconds()
-		runtime.ReadMemStats(&m1)
-		n := len(in)
-		rep.Entries = append(rep.Entries, benchEntry{
-			Dataset:        ds.Name,
-			Tuples:         n,
-			Results:        j.Results(),
-			Seconds:        dt,
-			TuplesPerSec:   float64(n) / dt,
-			AllocsPerTuple: float64(m1.Mallocs-m0.Mallocs) / float64(n),
-			BytesPerTuple:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(n),
-		})
-		fmt.Fprintf(os.Stderr, "%-22s %9d tuples  %12.0f tuples/s  %6.2f allocs/tuple\n",
-			ds.Name, n, float64(n)/dt, float64(m1.Mallocs-m0.Mallocs)/float64(n))
 	}
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

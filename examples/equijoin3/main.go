@@ -20,7 +20,10 @@ func main() {
 	fmt.Printf("%-8s  %-14s  %-14s  %s\n", "Γ", "avg buffer", "results", "recall")
 
 	for _, gamma := range []float64{0.8, 0.9, 0.95, 0.99} {
-		j := qdhj.NewJoin(ds.Cond, ds.Windows, qdhj.Options{Gamma: gamma})
+		// WithShards runs the operator partition-parallel; results and the
+		// adaptation trajectory are identical to the single-threaded path.
+		j := qdhj.NewJoin(ds.Cond, ds.Windows, qdhj.Options{Gamma: gamma},
+			qdhj.WithShards(4))
 		for _, e := range ds.Arrivals.Clone() {
 			j.Push(e)
 		}

@@ -1,0 +1,40 @@
+// Sharded: the partition-parallel execution path. One logical 3-way
+// equi-join runs as N key-partitioned shards on N goroutines
+// (qdhj.WithShards), while disorder handling and the quality-driven
+// buffer-size feedback loop stay global — so every shard count produces
+// exactly the same results and the same adaptation trajectory, only
+// faster on multi-core hosts.
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	qdhj "repro"
+	"repro/internal/gen"
+	"repro/internal/stream"
+)
+
+func main() {
+	ds := gen.Synthetic3(gen.SynthConfig{Duration: 2 * stream.Minute, Seed: 12})
+	fmt.Printf("3-way equi join, %d tuples, GOMAXPROCS=%d\n\n", len(ds.Arrivals), runtime.GOMAXPROCS(0))
+	fmt.Printf("%-8s  %-12s  %-12s  %-10s  %s\n", "shards", "results", "avg K (ms)", "adapts", "tuples/s")
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		j := qdhj.NewJoin(ds.Cond, ds.Windows, qdhj.Options{Gamma: 0.95},
+			qdhj.WithShards(shards))
+		in := ds.Arrivals.Clone()
+		t0 := time.Now()
+		for _, e := range in {
+			j.Push(e)
+		}
+		j.Close()
+		dt := time.Since(t0).Seconds()
+		fmt.Printf("%-8d  %-12d  %-12.0f  %-10d  %.0f\n",
+			shards, j.Results(), j.AvgK(), j.Adaptations(), float64(len(in))/dt)
+	}
+	fmt.Println("\nIdentical results and adaptation trajectories at every shard count:")
+	fmt.Println("the partitioner hash-routes by the planner's equi key class, and the")
+	fmt.Println("per-shard streams merge deterministically at each interval boundary.")
+}

@@ -17,10 +17,24 @@ import (
 	"repro/internal/kslack"
 	"repro/internal/monitor"
 	"repro/internal/profiler"
+	"repro/internal/shard"
 	"repro/internal/stats"
 	"repro/internal/stream"
 	"repro/internal/syncer"
 )
+
+// Sharding configures the parallel execution path: the join operator runs
+// as Shards key-partitioned workers (internal/shard) while disorder
+// handling and the feedback loop stay global, so the sharded run produces
+// exactly the single-shard result multiset. Shards ≤ 1 selects the
+// classic single-threaded path.
+type Sharding struct {
+	// Shards is the number of partition workers.
+	Shards int
+	// BatchSize and QueueDepth tune the inter-thread queues (0 = default).
+	BatchSize  int
+	QueueDepth int
+}
 
 // PolicyFactory builds the buffer-size policy once the pipeline has created
 // the shared statistics components.
@@ -87,6 +101,8 @@ type Config struct {
 	OnAdapt func(AdaptEvent)
 	// InitialK is the buffer size before the first adaptation step.
 	InitialK stream.Time
+	// Sharding enables the partition-parallel execution path.
+	Sharding Sharding
 }
 
 // Pipeline is the assembled framework.
@@ -98,11 +114,20 @@ type Pipeline struct {
 	mon    *monitor.Monitor
 	ks     []*kslack.Buffer
 	sync   *syncer.Synchronizer
-	op     *join.Operator
+	op     *join.Operator // nil on the sharded path
 	policy adapt.Policy
 	model  *adapt.Model // non-nil when policy is the model policy
 
+	// Sharded path (Config.Sharding.Shards > 1): the runtime replaces op,
+	// the feeder moves stats.Observe off the ingest thread, and maxTS
+	// tracks the logical now (== stats.GlobalT) without consulting the
+	// asynchronous Statistics Manager.
+	rt     *shard.Runtime
+	feeder *statsFeeder
+	maxTS  stream.Time
+
 	started   bool
+	finished  bool
 	nextAdapt stream.Time
 	curK      stream.Time
 
@@ -129,15 +154,29 @@ func New(cfg Config) *Pipeline {
 	intervals := int((cfg.Adapt.P - cfg.Adapt.L) / cfg.Adapt.L)
 	p.mon = monitor.New(cfg.Adapt.P-cfg.Adapt.L, intervals)
 
-	opts := []join.Option{
-		join.WithProcessedHook(p.onProcessed),
-		join.WithCountEmit(p.onResultCount),
+	if cfg.Sharding.Shards > 1 {
+		p.rt = shard.New(shard.Config{
+			N:            cfg.Sharding.Shards,
+			Cond:         cfg.Cond,
+			Windows:      cfg.Windows,
+			Materialize:  cfg.Emit != nil,
+			BatchSize:    cfg.Sharding.BatchSize,
+			QueueDepth:   cfg.Sharding.QueueDepth,
+			OnOutOfOrder: p.prof.RecordOutOfOrder,
+		})
+		p.sync = syncer.New(m, p.rt.Route)
+		p.feeder = newStatsFeeder(p.stats.Observe, cfg.Sharding.BatchSize)
+	} else {
+		opts := []join.Option{
+			join.WithProcessedHook(p.onProcessed),
+			join.WithCountEmit(p.onResultCount),
+		}
+		if cfg.Emit != nil {
+			opts = append(opts, join.WithEmit(cfg.Emit))
+		}
+		p.op = join.New(cfg.Cond, cfg.Windows, opts...)
+		p.sync = syncer.New(m, p.op.Process)
 	}
-	if cfg.Emit != nil {
-		opts = append(opts, join.WithEmit(cfg.Emit))
-	}
-	p.op = join.New(cfg.Cond, cfg.Windows, opts...)
-	p.sync = syncer.New(m, p.op.Process)
 	p.ks = make([]*kslack.Buffer, m)
 	for i := range p.ks {
 		p.ks[i] = kslack.New(cfg.InitialK, p.sync.Push)
@@ -169,13 +208,28 @@ func (p *Pipeline) onProcessed(e *stream.Tuple, nCross, nOn int64, inOrder bool)
 }
 
 // Push feeds one raw arrival into the framework and runs any adaptation
-// steps whose interval boundaries the arrival crossed.
+// steps whose interval boundaries the arrival crossed. Pushing into a
+// finished pipeline panics: the flushed buffers and stopped shard workers
+// cannot be restarted, so the tuple would be silently dropped.
 func (p *Pipeline) Push(e *stream.Tuple) {
+	if p.finished {
+		panic("core: Push on a finished pipeline — Finish flushed the buffers and a run cannot be restarted; build a new Pipeline")
+	}
 	p.pushed++
-	p.stats.Observe(e)
+	var now stream.Time
+	if p.rt != nil {
+		// Sharded path: stats updates are asynchronous; the logical now
+		// (max timestamp seen, == stats.GlobalT) is tracked inline.
+		p.feeder.add(e)
+		if e.TS > p.maxTS {
+			p.maxTS = e.TS
+		}
+		now = p.maxTS
+	} else {
+		p.stats.Observe(e)
+		now = p.stats.GlobalT()
+	}
 	p.ks[e.Src].Push(e)
-
-	now := p.stats.GlobalT()
 	if !p.started {
 		p.started = true
 		p.nextAdapt = now + p.cfg.Adapt.L
@@ -201,7 +255,19 @@ func (p *Pipeline) Push(e *stream.Tuple) {
 // K, and anchoring at the input would misread buffered-but-not-yet-produced
 // results as losses.
 func (p *Pipeline) adaptStep(at stream.Time) {
-	outT := p.op.HighWatermark()
+	var outT stream.Time
+	if p.rt != nil {
+		// Quiesce the parallel layer first: statistics catch up, shard
+		// queues drain, and the interval’s per-tuple productivity and
+		// result streams replay into the profiler/monitor in deterministic
+		// arrival order — the same sequence a single-shard operator would
+		// have fed them.
+		p.feeder.sync()
+		outT = p.rt.Watermark()
+		p.rt.FlushInterval(p.replayTuple, p.cfg.Emit)
+	} else {
+		outT = p.op.HighWatermark()
+	}
 	p.mon.Advance(outT)
 	snap := p.prof.Snapshot()
 	// Reset before applying the new K: tuples released eagerly by a K
@@ -225,14 +291,35 @@ func (p *Pipeline) adaptStep(at stream.Time) {
 	}
 }
 
+// replayTuple is the FlushInterval visitor of the sharded path: it feeds
+// one merged in-order tuple’s productivity record and result count into
+// the feedback loop, exactly as the single-shard operator hooks would.
+func (p *Pipeline) replayTuple(ts, delay stream.Time, nCross, nOn int64) {
+	p.prof.RecordInOrder(delay, nCross, nOn)
+	if nOn > 0 {
+		p.onResultCount(ts, nOn)
+	}
+}
+
 // Finish flushes the K-slack buffers and the Synchronizer at end of input so
-// every remaining tuple reaches the join operator.
+// every remaining tuple reaches the join operator; on the sharded path it
+// then drains and stops the shard workers. Finishing twice panics, as does
+// pushing afterwards: the run cannot be restarted.
 func (p *Pipeline) Finish() {
+	if p.finished {
+		panic("core: Finish on a finished pipeline — the run is already flushed and cannot be restarted; build a new Pipeline")
+	}
+	p.finished = true
 	for _, k := range p.ks {
 		k.Flush()
 	}
 	for i := 0; i < p.m; i++ {
 		p.sync.Close(i)
+	}
+	if p.rt != nil {
+		p.feeder.close()
+		p.rt.FlushInterval(p.replayTuple, p.cfg.Emit)
+		p.rt.Close()
 	}
 }
 
@@ -264,12 +351,27 @@ func (p *Pipeline) Stats() *stats.Manager { return p.stats }
 // Fig. 11 adaptation-time instrumentation.
 func (p *Pipeline) Model() *adapt.Model { return p.model }
 
-// Operator exposes the join operator for inspection in tests.
+// Operator exposes the join operator for inspection in tests. It is nil on
+// the sharded path, where the operator state lives inside the shard workers.
 func (p *Pipeline) Operator() *join.Operator { return p.op }
 
 // SetEmit installs a result callback after construction (used by channel
-// runners that wire their sink late).
-func (p *Pipeline) SetEmit(f join.EmitFunc) { p.op.SetEmit(f) }
+// runners that wire their sink late). On the sharded path it must run
+// before the first Push; the shard runtime enforces this.
+func (p *Pipeline) SetEmit(f join.EmitFunc) {
+	if p.rt != nil {
+		if p.started {
+			// The shard runtime guards its own start, but a pushed tuple can
+			// still sit in K-slack/Synchronizer without having reached the
+			// shards; any Push means count-only results may already exist.
+			panic("core: SetEmit after the sharded run has started — results produced so far were count-only and would be lost; install the sink before the first Push")
+		}
+		p.cfg.Emit = f
+		p.rt.EnableMaterialize()
+		return
+	}
+	p.op.SetEmit(f)
+}
 
 // Run pushes an entire arrival-ordered batch and finishes the pipeline.
 func (p *Pipeline) Run(b stream.Batch) {

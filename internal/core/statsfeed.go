@@ -1,0 +1,87 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/stream"
+)
+
+// statsFeeder moves the Statistics Manager off the ingest thread in
+// sharded runs: Observe touches per-stream delay histograms and ADWIN
+// state that nothing on the per-tuple hot path reads — the feedback loop
+// consults them only at adaptation boundaries — so the updates can run on
+// their own goroutine, batched, and merely need to be caught up before
+// each K decision. sync() provides that barrier.
+type statsFeeder struct {
+	ch   chan []*stream.Tuple
+	ack  chan struct{}
+	done chan struct{}
+	pend []*stream.Tuple
+	pool sync.Pool
+	size int
+}
+
+// newStatsFeeder starts the feeder goroutine; obs is stats.Manager.Observe.
+func newStatsFeeder(obs func(*stream.Tuple), batch int) *statsFeeder {
+	if batch <= 0 {
+		batch = 256
+	}
+	f := &statsFeeder{
+		ch:   make(chan []*stream.Tuple, 64),
+		ack:  make(chan struct{}),
+		done: make(chan struct{}),
+		size: batch,
+	}
+	f.pool.New = func() any { return make([]*stream.Tuple, 0, batch) }
+	f.pend = f.getBatch()
+	go func() {
+		defer close(f.done)
+		for b := range f.ch {
+			if b == nil { // sync marker
+				f.ack <- struct{}{}
+				continue
+			}
+			for _, e := range b {
+				obs(e)
+			}
+			clear(b)
+			f.pool.Put(b[:0])
+		}
+	}()
+	return f
+}
+
+func (f *statsFeeder) getBatch() []*stream.Tuple {
+	return f.pool.Get().([]*stream.Tuple)[:0]
+}
+
+// add enqueues one arrival for observation.
+func (f *statsFeeder) add(e *stream.Tuple) {
+	f.pend = append(f.pend, e)
+	if len(f.pend) >= f.size {
+		f.flush()
+	}
+}
+
+func (f *statsFeeder) flush() {
+	if len(f.pend) == 0 {
+		return
+	}
+	f.ch <- f.pend
+	f.pend = f.getBatch()
+}
+
+// sync blocks until every enqueued arrival has been observed; afterwards
+// the Statistics Manager is consistent with the ingest thread.
+func (f *statsFeeder) sync() {
+	f.flush()
+	f.ch <- nil
+	<-f.ack
+}
+
+// close drains and stops the feeder goroutine.
+func (f *statsFeeder) close() {
+	f.flush()
+	close(f.ch)
+	<-f.done
+}

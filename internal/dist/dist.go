@@ -64,8 +64,12 @@ type pairLookup struct {
 
 // pairBand is one band predicate |left − right| ≤ eps that becomes fully
 // bound at the stage (its highest-numbered stream is the stage's right
-// input). Stages evaluate bands as residual filters; range-index probing is
-// the central operator's optimization.
+// input). On stages without an equi lookup the first band keys a sorted
+// range index on both stage windows (the same index.Sorted the central
+// operator's windows use), turning the full-window scan into an
+// O(log n + box) probe; every band — including the probed one — stays in
+// the residual filter, so the widened range is a pure superset pre-filter
+// and results agree bit-for-bit with the scan.
 type pairBand struct {
 	leftStream, leftAttr int
 	rightAttr            int
@@ -155,8 +159,9 @@ func newStage(cond *join.Condition, windows []stream.Time, k stream.Time, rightS
 		}
 	}
 	indexed := len(s.lookups) > 0
-	s.left = newPwindow(indexed)
-	s.right = newPwindow(indexed)
+	banded := !indexed && len(s.bands) > 0
+	s.left = newPwindow(indexed, banded)
+	s.right = newPwindow(indexed, banded)
 	s.ksRight = kslack.New(k, func(t *stream.Tuple) {
 		s.syncPush(s.rightEvent(t), sideRight)
 	})
@@ -171,8 +176,11 @@ func newStage(cond *join.Condition, windows []stream.Time, k stream.Time, rightS
 // rightEvent wraps a post-K-slack raw tuple of the right stream.
 func (s *stage) rightEvent(t *stream.Tuple) *event {
 	ev := &event{ts: t.TS, deadline: t.TS + s.windows[s.rightSrc], delay: t.Delay, right: t}
-	if len(s.lookups) > 0 {
+	switch {
+	case len(s.lookups) > 0:
 		ev.key = t.Attr(s.lookups[0].rightAttr)
+	case len(s.bands) > 0:
+		ev.key = t.Attr(s.bands[0].rightAttr)
 	}
 	return ev
 }
@@ -184,21 +192,28 @@ func (s *stage) leafEvent(t *stream.Tuple) *event {
 		ts: t.TS, deadline: t.TS + s.windows[0], delay: t.Delay,
 		parts: []*stream.Tuple{t},
 	}
-	if len(s.lookups) > 0 {
+	s.setLeftKey(ev)
+	return ev
+}
+
+// setLeftKey stamps a left-side event with its stage probe key: the first
+// equi lookup's bound attribute, or the first band's on band-only stages.
+func (s *stage) setLeftKey(ev *event) {
+	switch {
+	case len(s.lookups) > 0:
 		l0 := s.lookups[0]
 		ev.key = ev.parts[l0.leftStream].Attr(l0.leftAttr)
+	case len(s.bands) > 0:
+		b0 := s.bands[0]
+		ev.key = ev.parts[b0.leftStream].Attr(b0.leftAttr)
 	}
-	return ev
 }
 
 // receive accepts one input in arrival order: a raw tuple (routed to this
 // stage's K-slack or forwarded downstream) or an upstream partial.
 func (s *stage) receive(ev *event) {
 	if ev.parts != nil {
-		if len(s.lookups) > 0 {
-			l0 := s.lookups[0]
-			ev.key = ev.parts[l0.leftStream].Attr(l0.leftAttr)
-		}
+		s.setLeftKey(ev)
 		s.syncPush(ev, sideLeft)
 		return
 	}
@@ -308,7 +323,7 @@ func (s *stage) process(ev *event) {
 
 // probeLeft joins an arriving right tuple against the buffered partials.
 func (s *stage) probeLeft(ev *event) {
-	for _, cand := range s.left.candidates(ev.key) {
+	for _, cand := range s.candidatesIn(s.left, ev.key) {
 		if cand.deadline < ev.ts {
 			continue // stale entry awaiting expiration (cross-join scan path)
 		}
@@ -320,7 +335,7 @@ func (s *stage) probeLeft(ev *event) {
 
 // probeRight joins an arriving partial against the buffered right tuples.
 func (s *stage) probeRight(ev *event) {
-	for _, cand := range s.right.candidates(ev.key) {
+	for _, cand := range s.candidatesIn(s.right, ev.key) {
 		if cand.deadline < ev.ts {
 			continue
 		}
@@ -328,6 +343,21 @@ func (s *stage) probeRight(ev *event) {
 			s.emit(ev, cand.right, ev)
 		}
 	}
+}
+
+// candidatesIn selects the window's candidate set for probe key: the hash
+// bucket on equi stages, a widened range-index view on band-only stages
+// (superset of the exact band; matches() re-checks the difference form),
+// every live entry otherwise.
+func (s *stage) candidatesIn(w *pwindow, key float64) []*event {
+	if w.srt != nil {
+		lo, hi, ok := join.ProbeRange(key, s.bands[0].eps)
+		if !ok {
+			return nil // NaN/Inf keys can never band-match
+		}
+		return w.srt.Range(lo, hi)
+	}
+	return w.candidates(key)
 }
 
 // matches checks the remaining equi-lookups, the band predicates and the
@@ -388,27 +418,35 @@ func (s *stage) emit(left *event, r *stream.Tuple, arriving *event) {
 
 // pwindow holds the live entries of one stage input: a 4-ary heap ordered
 // by expiration deadline (so expiry pops are O(log n) with no scanning)
-// plus, for equi stages, the shared open-addressed hash index
-// (internal/index) on the first lookup key — the same structure, cheap
-// multiplicative hashing and O(1) swap-delete the MJoin-style operator's
-// windows use.
+// plus, keyed on the first lookup, the shared index structures of
+// internal/index — the open-addressed hash on equi stages, the sorted
+// range index on band-only stages — the same structures the MJoin-style
+// operator's windows use.
 type pwindow struct {
 	heap pq.Heap[*event]
-	idx  *index.Hash[*event] // nil on non-equi stages
+	idx  *index.Hash[*event]   // nil unless the stage has an equi lookup
+	srt  *index.Sorted[*event] // nil unless the stage is band-only
 }
 
-func newPwindow(indexed bool) *pwindow {
+func newPwindow(indexed, banded bool) *pwindow {
 	w := &pwindow{
 		heap: pq.New(func(a, b *event) bool { return a.deadline < b.deadline }),
 	}
 	if indexed {
 		w.idx = index.NewHash[*event]()
 	}
+	if banded {
+		w.srt = &index.Sorted[*event]{}
+	}
 	return w
 }
 
 func (w *pwindow) insert(ev *event) {
 	w.heap.Push(ev)
+	if w.srt != nil {
+		// Sorted.Add skips NaN keys itself; a NaN can never band-match.
+		w.srt.Add(ev.key, ev)
+	}
 	if w.idx == nil {
 		return
 	}
@@ -424,6 +462,9 @@ func (w *pwindow) insert(ev *event) {
 func (w *pwindow) expire(t stream.Time) {
 	for w.heap.Len() > 0 && w.heap.Peek().deadline < t {
 		ev := w.heap.Pop()
+		if w.srt != nil {
+			w.srt.Remove(ev.key, ev)
+		}
 		if w.idx == nil {
 			continue
 		}
@@ -472,6 +513,7 @@ func NewTree(cond *join.Condition, windows []stream.Time, k stream.Time, sink fu
 // stage→stage hand-off (used by Pipelined to insert channels).
 func buildStages(cond *join.Condition, windows []stream.Time, k stream.Time,
 	sink func(Partial), results *int64, nextFns []func(*event)) []*stage {
+	cond.Seal() // stage plans are compiled now; later mutation must panic
 	n := cond.M - 1
 	stages := make([]*stage, n)
 	for j := 0; j < n; j++ {

@@ -169,6 +169,60 @@ func TestTreePureBandPredicate(t *testing.T) {
 	}
 }
 
+// TestTreeSealsCondition: mutating a condition after compiling it into a
+// tree must panic — the stage plans would silently ignore the predicate.
+func TestTreeSealsCondition(t *testing.T) {
+	cond := join.Cross(3).Band(0, 1, 1, 1, 9)
+	NewTree(cond, []stream.Time{100, 100, 100}, 0, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mutating a tree-compiled condition must panic")
+		}
+	}()
+	cond.Band(1, 1, 2, 1, 9)
+}
+
+// TestTreeBandChain3Way drives band-only stages whose *left* inputs are
+// partial results, exercising the sorted range index on both stage sides
+// (insert, expire, probe) through the synchronous and pipelined drivers.
+func TestTreeBandChain3Way(t *testing.T) {
+	in := workload(3, 700, 21, 5)
+	maxD, _ := in.MaxDelay()
+	mk := func() *join.Condition {
+		return join.Cross(3).Band(0, 1, 1, 1, 9).Band(1, 1, 2, 1, 9)
+	}
+	w := []stream.Time{400, 400, 400}
+	want := mjoinResults(mk(), w, maxD, clone(in))
+	if want == 0 {
+		t.Fatal("degenerate workload: no results")
+	}
+
+	tree := NewTree(mk(), w, maxD, nil)
+	for _, e := range clone(in) {
+		tree.Push(e)
+	}
+	tree.Finish()
+	if tree.Results() != want {
+		t.Fatalf("tree %d results, MJoin %d", tree.Results(), want)
+	}
+
+	pl := NewPipelined(mk(), w, maxD, 64)
+	go func() {
+		for _, e := range clone(in) {
+			pl.Push(e)
+		}
+		pl.Close()
+	}()
+	var got int64
+	for range pl.Results() {
+		got++
+	}
+	pl.Wait()
+	if got != want {
+		t.Fatalf("pipelined %d results, MJoin %d", got, want)
+	}
+}
+
 // A generic (non-equi) predicate forces the cross-join scan path of the
 // stage windows.
 func TestTreeGenericPredicate(t *testing.T) {

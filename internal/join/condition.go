@@ -44,11 +44,36 @@ type GenericPredicate struct {
 
 // Condition is a conjunction of equi-, band- and generic predicates over M
 // streams. An empty condition is the cross join.
+//
+// A condition is *sealed* the first time it is compiled — into an operator
+// (New), a distributed tree, or a partition scheme (Partition). Mutating a
+// sealed condition through Equi/Band/Where panics: the compiled plans,
+// indexes and routing keys would silently ignore the new predicate, so the
+// executors would disagree with Matches. Sealing is idempotent; building
+// several operators from one condition is fine.
 type Condition struct {
 	M        int
 	Equis    []EquiPredicate
 	Bands    []BandPredicate
 	Generics []GenericPredicate
+
+	sealed bool
+}
+
+// seal marks the condition as compiled; further mutation panics.
+func (c *Condition) seal() { c.sealed = true }
+
+// Seal marks the condition as compiled into an executor, after which
+// Equi/Band/Where panic. New and Partition call it internally; it is
+// exported for executors outside this package (internal/dist) that
+// compile conditions into plans of their own.
+func (c *Condition) Seal() { c.seal() }
+
+// mutable panics when the condition is sealed.
+func (c *Condition) mutable(op string) {
+	if c.sealed {
+		panic("join: " + op + " on a condition already compiled into an operator, tree, or partition scheme — the running executors would silently ignore the new predicate; build the full condition first, or use a fresh Condition")
+	}
 }
 
 // Cross returns the always-true condition over m streams.
@@ -62,6 +87,7 @@ func Cross(m int) *Condition {
 // Equi adds the equi-predicate S_ls.attr(la) = S_rs.attr(ra) and returns the
 // condition for chaining. It panics on out-of-range stream indexes.
 func (c *Condition) Equi(ls, la, rs, ra int) *Condition {
+	c.mutable("Equi")
 	if ls < 0 || ls >= c.M || rs < 0 || rs >= c.M || ls == rs {
 		panic(fmt.Sprintf("join: invalid equi-predicate streams (%d,%d) for m=%d", ls, rs, c.M))
 	}
@@ -75,6 +101,7 @@ func (c *Condition) Equi(ls, la, rs, ra int) *Condition {
 // whenever the condition has this shape. It panics on invalid stream
 // indexes or a non-finite/negative eps, which are planning bugs.
 func (c *Condition) Band(ls, la, rs, ra int, eps float64) *Condition {
+	c.mutable("Band")
 	if ls < 0 || ls >= c.M || rs < 0 || rs >= c.M || ls == rs {
 		panic(fmt.Sprintf("join: invalid band-predicate streams (%d,%d) for m=%d", ls, rs, c.M))
 	}
@@ -88,6 +115,7 @@ func (c *Condition) Band(ls, la, rs, ra int, eps float64) *Condition {
 // Where adds a generic predicate over the listed streams and returns the
 // condition for chaining.
 func (c *Condition) Where(streams []int, eval func(assign []*stream.Tuple) bool) *Condition {
+	c.mutable("Where")
 	for _, s := range streams {
 		if s < 0 || s >= c.M {
 			panic(fmt.Sprintf("join: predicate references stream %d outside [0,%d)", s, c.M))

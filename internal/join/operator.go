@@ -72,6 +72,7 @@ func New(cond *Condition, sizes []stream.Time, opts ...Option) *Operator {
 	if len(sizes) != cond.M {
 		panic("join: window sizes must match condition arity")
 	}
+	cond.seal()
 	idx := cond.IndexedAttrs()
 	rng := cond.RangeAttrs()
 	o := &Operator{
@@ -116,21 +117,42 @@ func (o *Operator) HighWatermark() stream.Time { return o.onT }
 // WindowLen returns the current cardinality of the window on stream i.
 func (o *Operator) WindowLen(i int) int { return o.windows[i].Len() }
 
-// Process consumes one tuple per Alg. 2.
+// Process consumes one tuple per Alg. 2, tracking the watermark onT from
+// the tuples it receives.
 func (o *Operator) Process(e *stream.Tuple) {
+	wm := o.onT
+	if e.TS > wm {
+		wm = e.TS
+	}
+	o.ProcessAt(e, wm)
+}
+
+// ProcessAt consumes one tuple under an externally supplied watermark
+// wm = max(watermark before e, e.TS). Sharded execution uses it to impose
+// the *global* synchronized-stream watermark on every shard operator, so a
+// tuple that is out of order globally is treated as out of order in its
+// shard even when the shard itself has not seen the newer tuples (they were
+// routed elsewhere). Process is the single-operator special case where the
+// operator's own onT is the watermark. It returns the number of results the
+// tuple derived (0 for out-of-order tuples).
+func (o *Operator) ProcessAt(e *stream.Tuple, wm stream.Time) int64 {
 	o.processed++
-	if e.TS >= o.onT {
-		// In-order tuple: advance the watermark, expire, probe, insert.
-		if e.TS > o.onT {
-			o.onT = e.TS
-		}
+	if wm > o.onT {
+		o.onT = wm
+	}
+	if e.TS >= wm {
+		// In-order tuple: expire, probe, insert. The arriving stream's own
+		// window is expired too — probes never consult it, and any tuple it
+		// drops would be expired by the next probing arrival anyway (whose
+		// TS is ≥ wm), so results are unaffected; without this, a shard
+		// whose probes all come from one stream would grow that stream's
+		// window without bound.
 		var nCross int64 = 1
 		for j, w := range o.windows {
-			if j == e.Src {
-				continue
-			}
 			w.Expire(e.TS - w.Size())
-			nCross *= int64(w.Len())
+			if j != e.Src {
+				nCross *= int64(w.Len())
+			}
 		}
 		nOn := o.probe(e)
 		o.results += nOn
@@ -141,20 +163,46 @@ func (o *Operator) Process(e *stream.Tuple) {
 		if o.onProcessed != nil {
 			o.onProcessed(e, nCross, nOn, true)
 		}
-		return
+		return nOn
 	}
 	// Out-of-order tuple: skip expiration and probing. Insert only if it is
 	// still within the current scope of its own window so it can contribute
-	// to future results (lines 9–10). The scope at watermark onT is the
-	// closed interval [onT − W, onT] — Expire removes only TS < onT − W, so
-	// a late tuple at exactly onT − W is still in scope and must be kept.
+	// to future results (lines 9–10). The scope at watermark wm is the
+	// closed interval [wm − W, wm] — Expire removes only TS < wm − W, so
+	// a late tuple at exactly wm − W is still in scope and must be kept.
 	o.outOfOrder++
-	if e.TS >= o.onT-o.windows[e.Src].Size() {
-		o.windows[e.Src].Insert(e)
-	}
+	o.insertInScope(e, wm)
 	if o.onProcessed != nil {
 		o.onProcessed(e, 0, 0, false)
 	}
+	return 0
+}
+
+// insertInScope expires e's own window up to the watermark and inserts e
+// if it is still inside the window scope [wm − W, wm]. The expiry keeps
+// windows that only ever receive inserts (replica/broadcast shards, late
+// tuples) bounded by the logical window extent; it cannot change results,
+// because every future probe re-expires with a bound ≥ wm − W first.
+func (o *Operator) insertInScope(e *stream.Tuple, wm stream.Time) {
+	w := o.windows[e.Src]
+	w.Expire(wm - w.Size())
+	if e.TS >= wm-w.Size() {
+		w.Insert(e)
+	}
+}
+
+// InsertAt inserts e into its stream's window under global watermark wm
+// without probing or counting. It is the sharded runtime's replica path:
+// band-overlap neighbours and broadcast copies must be *matchable* in a
+// shard without deriving (or double-counting) results there. The same
+// in-scope check as the out-of-order path applies; for globally in-order
+// tuples (e.TS == wm) it passes trivially, mirroring the unconditional
+// insert of the in-order path.
+func (o *Operator) InsertAt(e *stream.Tuple, wm stream.Time) {
+	if wm > o.onT {
+		o.onT = wm
+	}
+	o.insertInScope(e, wm)
 }
 
 // probe joins e against the windows on all other streams and returns the
@@ -248,6 +296,16 @@ func bandRange(c, eps float64) (lo, hi float64, ok bool) {
 	}
 	slack := (math.Abs(c) + eps) * 1e-15
 	return c - eps - slack, c + eps + slack, true
+}
+
+// ProbeRange exposes the widened band-probe bounds to other executors of
+// the same band semantics (internal/dist's stage windows): a range index
+// probed with [lo, hi] is guaranteed to return a superset of the tuples
+// whose exact difference form |a − c| ≤ eps holds, so callers keep the
+// exact check as a residual filter. ok is false when c can never
+// band-match (NaN or ±Inf).
+func ProbeRange(c, eps float64) (lo, hi float64, ok bool) {
+	return bandRange(c, eps)
 }
 
 // stepFilter applies the step's residual lookups to one candidate.

@@ -1,0 +1,212 @@
+package join
+
+// The planner's partition analysis: besides compiling probe orders, the
+// planner exposes *which key* it compiled the condition around, so the
+// sharded runtime (internal/shard) can hash-route tuples such that every
+// join result is derivable — and derived exactly once — inside a single
+// shard.
+//
+// The analysis runs union-find over (stream, attribute) pairs, with one
+// edge per equi-predicate (exact, spread 0) and one per band predicate
+// (approximate, spread ε). Each resulting equivalence class is a candidate
+// partition key: within any satisfying assignment, the class attributes of
+// all covered streams agree up to the class's accumulated band spread.
+
+// PartitionMode classifies how a condition can be partitioned across
+// shards.
+type PartitionMode int
+
+const (
+	// PartitionEqui hash-partitions on an exact equi key class. Streams
+	// with KeyAttr[s] < 0 are not covered by the class and must be
+	// broadcast: their tuples are inserted into (and probe) every shard,
+	// while covered tuples visit only the shard owning their key. Every
+	// satisfying assignment carries one key value shared by all covered
+	// constituents, so it is derived in exactly one shard.
+	PartitionEqui PartitionMode = iota
+	// PartitionBand range-partitions on a band key class covering every
+	// stream. Constituent keys of one result may differ by up to Delta, so
+	// tuples are additionally inserted into the shards owning the key range
+	// [key−Delta, key+Delta]; each tuple still probes only the shard
+	// owning its own key.
+	PartitionBand
+	// PartitionNone means no class yields a usable key (purely generic
+	// conditions, or equi classes covering a single predicate's pair only
+	// in degenerate conditions). Stream 0 is partitioned by arrival
+	// sequence and all other streams are broadcast; results are derived in
+	// the shard owning their stream-0 constituent.
+	PartitionNone
+)
+
+// String implements fmt.Stringer.
+func (m PartitionMode) String() string {
+	switch m {
+	case PartitionEqui:
+		return "equi"
+	case PartitionBand:
+		return "band"
+	default:
+		return "broadcast"
+	}
+}
+
+// PartitionScheme is the planner-chosen partition key of a condition.
+type PartitionScheme struct {
+	Mode PartitionMode
+	// KeyAttr[s] is the attribute position of stream s's partition key, or
+	// −1 when stream s is not covered (broadcast). It is fully populated
+	// for PartitionBand, has ≥ 2 covered streams for PartitionEqui, and is
+	// all −1 for PartitionNone.
+	KeyAttr []int
+	// Delta bounds |key_a − key_b| over constituents a, b of any single
+	// result (PartitionBand only; 0 otherwise). It is the sum of the band
+	// epsilons of the class, a conservative bound on any chain of band
+	// predicates connecting two constituents.
+	Delta float64
+}
+
+// Covered reports whether stream s carries a partition key.
+func (p PartitionScheme) Covered(s int) bool {
+	return s < len(p.KeyAttr) && p.KeyAttr[s] >= 0
+}
+
+// attrNode identifies one (stream, attribute) pair in the union-find.
+type attrNode struct{ stream, attr int }
+
+// Partition analyzes the condition and returns the partition scheme the
+// sharded runtime should use. The choice prefers an exact equi class
+// covering all streams, then a band class covering all streams, then the
+// equi class covering the most streams (broadcasting the rest), and
+// finally the sequence-partitioned fallback. The analysis is deterministic:
+// ties break on the smallest (stream, attr) pair. Calling Partition seals
+// the condition against further mutation, like compiling it into an
+// operator does.
+func (c *Condition) Partition() PartitionScheme {
+	c.seal()
+	ids := map[attrNode]int{}
+	var nodes []attrNode
+	id := func(n attrNode) int {
+		if i, ok := ids[n]; ok {
+			return i
+		}
+		i := len(nodes)
+		ids[n] = i
+		nodes = append(nodes, n)
+		return i
+	}
+	type edge struct {
+		a, b attrNode
+		eps  float64
+	}
+	var edges []edge
+	for _, p := range c.Equis {
+		edges = append(edges, edge{attrNode{p.LeftStream, p.LeftAttr}, attrNode{p.RightStream, p.RightAttr}, 0})
+	}
+	for _, p := range c.Bands {
+		edges = append(edges, edge{attrNode{p.LeftStream, p.LeftAttr}, attrNode{p.RightStream, p.RightAttr}, p.Eps})
+	}
+	parent := make([]int, 0, 2*len(edges))
+	spread := make([]float64, 0, 2*len(edges))
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	for _, e := range edges {
+		ia, ib := id(e.a), id(e.b)
+		for len(parent) < len(nodes) {
+			parent = append(parent, len(parent))
+			spread = append(spread, 0)
+		}
+		ra, rb := find(ia), find(ib)
+		if ra == rb {
+			// A redundant edge inside one class still contributes to the
+			// conservative spread bound.
+			spread[ra] += e.eps
+			continue
+		}
+		parent[rb] = ra
+		spread[ra] += spread[rb] + e.eps
+	}
+
+	type class struct {
+		streams int // covered stream count
+		delta   float64
+		keyAttr []int
+		minNode attrNode
+	}
+	classes := map[int]*class{}
+	for i, n := range nodes {
+		r := find(i)
+		cl := classes[r]
+		if cl == nil {
+			cl = &class{keyAttr: make([]int, c.M), delta: spread[r], minNode: n}
+			for s := range cl.keyAttr {
+				cl.keyAttr[s] = -1
+			}
+			classes[r] = cl
+		}
+		if cl.keyAttr[n.stream] < 0 {
+			cl.keyAttr[n.stream] = n.attr
+			cl.streams++
+		} else if n.attr < cl.keyAttr[n.stream] {
+			cl.keyAttr[n.stream] = n.attr
+		}
+		if n.stream < cl.minNode.stream || (n.stream == cl.minNode.stream && n.attr < cl.minNode.attr) {
+			cl.minNode = n
+		}
+	}
+
+	better := func(a, b *class) bool { // deterministic preference order
+		if b == nil {
+			return true
+		}
+		if a.streams != b.streams {
+			return a.streams > b.streams
+		}
+		if (a.delta == 0) != (b.delta == 0) {
+			return a.delta == 0
+		}
+		if a.minNode.stream != b.minNode.stream {
+			return a.minNode.stream < b.minNode.stream
+		}
+		return a.minNode.attr < b.minNode.attr
+	}
+	var fullEqui, fullBand, partialEqui *class
+	for _, cl := range classes {
+		switch {
+		case cl.streams == c.M && cl.delta == 0:
+			if better(cl, fullEqui) {
+				fullEqui = cl
+			}
+		case cl.streams == c.M:
+			if better(cl, fullBand) {
+				fullBand = cl
+			}
+		case cl.streams >= 2 && cl.delta == 0:
+			// Partial band classes are unsound to shard: replicated band
+			// neighbours could pair with broadcast tuples in two shards at
+			// once. Only exact (equi) classes may partially cover.
+			if better(cl, partialEqui) {
+				partialEqui = cl
+			}
+		}
+	}
+	switch {
+	case fullEqui != nil:
+		return PartitionScheme{Mode: PartitionEqui, KeyAttr: fullEqui.keyAttr}
+	case fullBand != nil:
+		return PartitionScheme{Mode: PartitionBand, KeyAttr: fullBand.keyAttr, Delta: fullBand.delta}
+	case partialEqui != nil:
+		return PartitionScheme{Mode: PartitionEqui, KeyAttr: partialEqui.keyAttr}
+	default:
+		key := make([]int, c.M)
+		for s := range key {
+			key[s] = -1
+		}
+		return PartitionScheme{Mode: PartitionNone, KeyAttr: key}
+	}
+}

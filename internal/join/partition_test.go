@@ -1,0 +1,138 @@
+package join
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func TestPartitionFullEqui(t *testing.T) {
+	p := EquiChain(3, 1).Partition()
+	if p.Mode != PartitionEqui {
+		t.Fatalf("mode = %v, want equi", p.Mode)
+	}
+	for s := 0; s < 3; s++ {
+		if p.KeyAttr[s] != 1 {
+			t.Fatalf("KeyAttr[%d] = %d, want 1", s, p.KeyAttr[s])
+		}
+	}
+	if p.Delta != 0 {
+		t.Fatalf("Delta = %v, want 0", p.Delta)
+	}
+}
+
+func TestPartitionStarDistinctAttrsIsPartial(t *testing.T) {
+	// Q×4: S0.a0=S1.a0, S0.a1=S2.a0, S0.a2=S3.a0 — three separate classes,
+	// each covering exactly two streams. The partitioner must pick one
+	// (deterministically the smallest) and broadcast the rest.
+	p := Star(4, []int{0, 1, 2}, []int{0, 0, 0}).Partition()
+	if p.Mode != PartitionEqui {
+		t.Fatalf("mode = %v, want equi (partial)", p.Mode)
+	}
+	if p.KeyAttr[0] != 0 || p.KeyAttr[1] != 0 {
+		t.Fatalf("expected class {S0.a0, S1.a0}, got %v", p.KeyAttr)
+	}
+	if p.KeyAttr[2] != -1 || p.KeyAttr[3] != -1 {
+		t.Fatalf("S2/S3 must be broadcast, got %v", p.KeyAttr)
+	}
+}
+
+func TestPartitionStarSharedAttrIsFull(t *testing.T) {
+	// Q×3-style star on one attribute: transitively one class over all
+	// streams.
+	p := Star(3, []int{0, 0}, []int{0, 0}).Partition()
+	if p.Mode != PartitionEqui || p.KeyAttr[0] != 0 || p.KeyAttr[1] != 0 || p.KeyAttr[2] != 0 {
+		t.Fatalf("want full equi on attr 0, got %+v", p)
+	}
+}
+
+func TestPartitionBandChain(t *testing.T) {
+	c := Cross(3).Band(0, 0, 1, 0, 2).Band(1, 0, 2, 0, 3)
+	p := c.Partition()
+	if p.Mode != PartitionBand {
+		t.Fatalf("mode = %v, want band", p.Mode)
+	}
+	if p.Delta != 5 { // conservative: sum of class epsilons
+		t.Fatalf("Delta = %v, want 5", p.Delta)
+	}
+	for s := 0; s < 3; s++ {
+		if p.KeyAttr[s] != 0 {
+			t.Fatalf("KeyAttr = %v", p.KeyAttr)
+		}
+	}
+}
+
+func TestPartitionEquiBeatsBand(t *testing.T) {
+	// Both a full equi class (attr 1) and a full band class (attr 0): the
+	// exact key wins — no replication needed.
+	c := Cross(2).Band(0, 0, 1, 0, 1).Equi(0, 1, 1, 1)
+	p := c.Partition()
+	if p.Mode != PartitionEqui || p.KeyAttr[0] != 1 || p.KeyAttr[1] != 1 {
+		t.Fatalf("want full equi on attr 1, got %+v", p)
+	}
+}
+
+func TestPartitionZeroEpsBandIsExact(t *testing.T) {
+	// A band with ε = 0 is an equality: the class is exact and hashable.
+	p := Cross(2).Band(0, 0, 1, 0, 0).Partition()
+	if p.Mode != PartitionEqui {
+		t.Fatalf("mode = %v, want equi for ε=0 band", p.Mode)
+	}
+}
+
+func TestPartitionPartialBandFallsBack(t *testing.T) {
+	// A band class covering 2 of 3 streams is unsound to shard (replicated
+	// neighbours could pair with broadcast tuples in two shards), so the
+	// fallback applies.
+	c := Cross(3).Band(0, 0, 1, 0, 1).
+		Where([]int{1, 2}, func([]*stream.Tuple) bool { return true })
+	p := c.Partition()
+	if p.Mode != PartitionNone {
+		t.Fatalf("mode = %v, want broadcast fallback", p.Mode)
+	}
+}
+
+func TestPartitionGenericOnly(t *testing.T) {
+	c := Cross(2).Where([]int{0, 1}, func([]*stream.Tuple) bool { return true })
+	p := c.Partition()
+	if p.Mode != PartitionNone {
+		t.Fatalf("mode = %v, want broadcast fallback", p.Mode)
+	}
+	if p.Covered(0) || p.Covered(1) {
+		t.Fatalf("no stream carries a key in fallback mode: %+v", p)
+	}
+}
+
+func TestPartitionSealsCondition(t *testing.T) {
+	c := EquiChain(2, 0)
+	c.Partition()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mutating a partitioned condition must panic")
+		}
+	}()
+	c.Equi(0, 1, 1, 1)
+}
+
+func TestSealOnOperatorBuild(t *testing.T) {
+	c := EquiChain(2, 0)
+	New(c, []stream.Time{1000, 1000})
+	for name, mutate := range map[string]func(){
+		"Equi": func() { c.Equi(0, 1, 1, 1) },
+		"Band": func() { c.Band(0, 1, 1, 1, 1) },
+		"Where": func() {
+			c.Where([]int{0}, func([]*stream.Tuple) bool { return true })
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s after compile must panic", name)
+				}
+			}()
+			mutate()
+		}()
+	}
+	// Building a second operator from the sealed condition stays legal.
+	New(c, []stream.Time{1000, 1000})
+}

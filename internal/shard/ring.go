@@ -1,0 +1,57 @@
+package shard
+
+import "repro/internal/stream"
+
+// tsRing is the router's replica of one stream's *global* window
+// membership: just the timestamps, ordered, in a head-indexed ring. The
+// sharded runtime splits each logical window across shards, but the
+// feedback loop (the Tuple-Productivity Profiler's n×(e)) needs the global
+// window cardinalities at every in-order arrival — the product of the
+// per-shard cardinalities is not the global cross size. Replaying the
+// operator's expire/insert decisions on bare timestamps costs a few
+// nanoseconds per tuple and keeps the merged statistics bit-for-bit equal
+// to a single-shard run.
+type tsRing struct {
+	buf  []stream.Time // live region buf[head:], non-decreasing
+	head int
+}
+
+// len returns the number of live timestamps.
+func (r *tsRing) len() int { return len(r.buf) - r.head }
+
+// insert adds ts, keeping order. The synchronized stream is mostly
+// timestamp-ordered, so nearly every insert is a tail append; globally
+// out-of-order residue falls back to binary insertion.
+func (r *tsRing) insert(ts stream.Time) {
+	if n := len(r.buf); n == r.head || r.buf[n-1] <= ts {
+		r.buf = append(r.buf, ts)
+		return
+	}
+	lo, hi := r.head, len(r.buf)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.buf[mid] <= ts {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	r.buf = append(r.buf, 0)
+	copy(r.buf[lo+1:], r.buf[lo:])
+	r.buf[lo] = ts
+}
+
+// expire drops every timestamp strictly older than bound (the shared
+// boundary convention: scope [onT − W, onT], expired means TS < bound).
+func (r *tsRing) expire(bound stream.Time) {
+	h := r.head
+	for h < len(r.buf) && r.buf[h] < bound {
+		h++
+	}
+	r.head = h
+	if r.head >= 64 && r.head >= len(r.buf)-r.head {
+		n := copy(r.buf, r.buf[r.head:])
+		r.buf = r.buf[:n]
+		r.head = 0
+	}
+}

@@ -1,0 +1,503 @@
+// Package shard is the key-partitioned parallel execution layer: one
+// logical MSWJ (internal/join) runs as N shards on N goroutines, while the
+// quality-driven feedback loop of the paper (profiler → monitor → buffer-
+// size manager) still makes one global Same-K decision per interval.
+//
+// # Architecture
+//
+// The single-threaded spine of the pipeline — K-slack buffers and the
+// Synchronizer — is unchanged; disorder handling is inherently sequential
+// per stream. The synchronized, mostly timestamp-ordered stream then enters
+// the Router instead of one join operator. The router:
+//
+//   - tracks the global watermark onT and decides in-order/out-of-order
+//     exactly like the single operator would;
+//   - replays window membership on bare timestamps (tsRing) to obtain the
+//     global cross-join size n×(e) for the profiler;
+//   - routes each tuple to shards according to the planner's partition
+//     scheme (join.Partition): hash on an equi key class, range cells on a
+//     band key class with ±Delta overlap replication, or sequence-
+//     partitioning of stream 0 with broadcast of the rest.
+//
+// Each shard owns a full join.Operator (its own windows and
+// internal/index structures) and processes its queue in FIFO order under
+// the router-supplied global watermark, so a shard never mistakes a
+// globally late tuple for an in-order one. Per-tuple result counts and
+// materialized results accumulate per shard, indexed by the router's
+// arrival counter.
+//
+// # Deterministic merge
+//
+// At every adaptation-interval boundary (and at Finish) the runtime runs a
+// barrier: all queues drain, then the per-shard streams merge in (arrival,
+// shard) order on the ingest thread. Because the partition scheme derives
+// every result in exactly one shard, the merged result multiset — and the
+// merged statistics feeding the K decision — are bit-for-bit equal to a
+// single-shard run, for any shard count. See DESIGN.md §7 for the
+// argument.
+package shard
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/index"
+	"repro/internal/join"
+	"repro/internal/stream"
+)
+
+// Config assembles a Runtime.
+type Config struct {
+	// N is the shard count (≥ 1).
+	N int
+	// Cond and Windows define the join, as for join.New.
+	Cond    *join.Condition
+	Windows []stream.Time
+	// Materialize builds the shard operators with result buffers so
+	// FlushInterval can emit stream.Results; leaving it false keeps the
+	// operators' counting-only fast path. EnableMaterialize can switch it
+	// on later, but only before the first tuple is routed.
+	Materialize bool
+	// BatchSize is the number of messages per inter-thread hand-off
+	// (default 128). QueueDepth is the per-shard queue capacity in batches
+	// (default 64).
+	BatchSize  int
+	QueueDepth int
+	// OnOutOfOrder observes every globally out-of-order synchronized tuple
+	// with its delay annotation; it runs on the ingest goroutine. The core
+	// pipeline feeds the Tuple-Productivity Profiler's out-of-order charge
+	// through it.
+	OnOutOfOrder func(delay stream.Time)
+}
+
+// message kinds.
+const (
+	msgProbe   = iota // full Alg. 2 step: expire, probe, insert
+	msgInsert         // replica path: insert-only (band overlap, broadcast)
+	msgBarrier        // quiesce marker; worker acks rt.barrier
+)
+
+// msg is one unit of shard input.
+type msg struct {
+	e    *stream.Tuple
+	wm   stream.Time // global watermark including e
+	idx  int         // router arrival index within the current interval
+	kind uint8
+}
+
+// worker is one shard: an operator plus its per-interval accumulators. All
+// fields except ch are owned by the worker goroutine between barriers; the
+// ingest thread reads and resets them only after a barrier acknowledgment
+// (sync.WaitGroup provides the happens-before edges).
+type worker struct {
+	rt     *Runtime
+	ch     chan []msg
+	op     *join.Operator
+	curIdx int
+	onAcc  []int64 // onAcc[idx] = results derived by arrival idx in this shard
+	res    []stream.Result
+	resIdx []int // arrival index per buffered result; non-decreasing
+	done   chan struct{}
+}
+
+// Runtime runs one logical join as cfg.N shards.
+type Runtime struct {
+	cfg    Config
+	scheme join.PartitionScheme
+	n      int
+	cell   float64 // band mode: range-cell width (≥ 2·Delta)
+
+	wm       stream.Time
+	started  bool
+	finished bool
+	reps     []tsRing
+
+	// Per-interval router-side accounting, indexed by arrival idx.
+	delays  []stream.Time
+	crosses []int64
+	resTS   []stream.Time
+
+	workers []*worker
+	pend    [][]msg
+	pool    sync.Pool
+	barrier sync.WaitGroup
+
+	targets []int // scratch: shard set of the tuple being routed
+	ptr     []int // scratch: per-shard result cursor during merge
+}
+
+// New builds the runtime and starts its shard goroutines. The partition
+// scheme is compiled from cfg.Cond via the planner.
+func New(cfg Config) *Runtime {
+	if cfg.N < 1 {
+		panic("shard: need at least one shard")
+	}
+	if len(cfg.Windows) != cfg.Cond.M {
+		panic("shard: window count must match condition arity")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 128
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	rt := &Runtime{
+		cfg:     cfg,
+		scheme:  cfg.Cond.Partition(),
+		n:       cfg.N,
+		reps:    make([]tsRing, cfg.Cond.M),
+		pend:    make([][]msg, cfg.N),
+		targets: make([]int, 0, cfg.N),
+		ptr:     make([]int, cfg.N),
+	}
+	if rt.scheme.Mode == join.PartitionBand {
+		// A cell at least 2·Delta wide keeps the ±Delta replication span
+		// inside at most two cells, so every tuple lands in ≤ 2 shards. 4×
+		// halves the fraction of boundary tuples that need the second copy.
+		rt.cell = 4 * rt.scheme.Delta
+	}
+	rt.pool.New = func() any { return make([]msg, 0, cfg.BatchSize) }
+	rt.workers = make([]*worker, cfg.N)
+	for s := range rt.workers {
+		w := &worker{
+			rt:   rt,
+			ch:   make(chan []msg, cfg.QueueDepth),
+			op:   join.New(cfg.Cond, cfg.Windows),
+			done: make(chan struct{}),
+		}
+		rt.workers[s] = w
+		rt.pend[s] = rt.getBatch()
+	}
+	if cfg.Materialize {
+		rt.installEmit()
+	}
+	for _, w := range rt.workers {
+		go w.run()
+	}
+	return rt
+}
+
+// Scheme returns the compiled partition scheme.
+func (rt *Runtime) Scheme() join.PartitionScheme { return rt.scheme }
+
+// Watermark returns the global synchronized-stream watermark onT, the
+// sharded equivalent of Operator.HighWatermark.
+func (rt *Runtime) Watermark() stream.Time { return rt.wm }
+
+// EnableMaterialize installs result buffers on every shard operator so
+// FlushInterval can deliver materialized results. Installing a sink after
+// tuples have been routed would silently lose the results already counted
+// on the fast path, so it panics once the run has started.
+func (rt *Runtime) EnableMaterialize() {
+	if rt.started {
+		panic("shard: cannot install a results sink after the sharded run has started — results produced so far were count-only; install the sink before the first Push")
+	}
+	if rt.cfg.Materialize {
+		return
+	}
+	rt.cfg.Materialize = true
+	rt.installEmit()
+}
+
+func (rt *Runtime) installEmit() {
+	for _, w := range rt.workers {
+		w := w
+		w.op.SetEmit(func(r stream.Result) {
+			w.res = append(w.res, r)
+			w.resIdx = append(w.resIdx, w.curIdx)
+		})
+	}
+}
+
+func (rt *Runtime) getBatch() []msg {
+	return rt.pool.Get().([]msg)[:0]
+}
+
+// Route accepts one synchronized tuple from the spine (K-slack →
+// Synchronizer) and forwards it to the shards the partition scheme
+// selects. It must be called from a single goroutine.
+func (rt *Runtime) Route(e *stream.Tuple) {
+	if rt.finished {
+		panic("shard: Route on a finished runtime — a sharded run cannot be restarted; build a new pipeline")
+	}
+	rt.started = true
+	prev := rt.wm
+	wm := prev
+	if e.TS > wm {
+		wm = e.TS
+	}
+	rt.wm = wm
+	src := e.Src
+	if e.TS >= prev {
+		// Globally in-order: replicate the operator's expire-and-count on
+		// the timestamp replicas, record the interval accounting, route.
+		idx := len(rt.delays)
+		var nCross int64 = 1
+		for j := range rt.reps {
+			if j == src {
+				continue
+			}
+			rt.reps[j].expire(e.TS - rt.cfg.Windows[j])
+			nCross *= int64(rt.reps[j].len())
+		}
+		rt.delays = append(rt.delays, e.Delay)
+		rt.crosses = append(rt.crosses, nCross)
+		rt.resTS = append(rt.resTS, e.TS)
+		rt.reps[src].insert(e.TS)
+		probeAll, owner := rt.route(e)
+		if probeAll {
+			for s := 0; s < rt.n; s++ {
+				rt.send(s, msg{e: e, wm: wm, idx: idx, kind: msgProbe})
+			}
+			return
+		}
+		rt.send(owner, msg{e: e, wm: wm, idx: idx, kind: msgProbe})
+		for _, s := range rt.targets {
+			if s != owner {
+				rt.send(s, msg{e: e, wm: wm, kind: msgInsert})
+			}
+		}
+		return
+	}
+	// Globally out-of-order: no probing anywhere (lines 9–10 of Alg. 2).
+	if rt.cfg.OnOutOfOrder != nil {
+		rt.cfg.OnOutOfOrder(e.Delay)
+	}
+	if e.TS < wm-rt.cfg.Windows[src] {
+		return // out of scope everywhere; the shards would drop it too
+	}
+	rt.reps[src].insert(e.TS)
+	probeAll, owner := rt.route(e)
+	if probeAll {
+		for s := 0; s < rt.n; s++ {
+			rt.send(s, msg{e: e, wm: wm, kind: msgInsert})
+		}
+		return
+	}
+	rt.send(owner, msg{e: e, wm: wm, kind: msgInsert})
+	for _, s := range rt.targets {
+		if s != owner {
+			rt.send(s, msg{e: e, wm: wm, kind: msgInsert})
+		}
+	}
+}
+
+// route computes the shard set of e: either "every shard probes"
+// (broadcast streams), or an owner shard plus — in band mode — replica
+// targets left in rt.targets. rt.targets is only valid until the next
+// call.
+func (rt *Runtime) route(e *stream.Tuple) (probeAll bool, owner int) {
+	rt.targets = rt.targets[:0]
+	switch rt.scheme.Mode {
+	case join.PartitionBand:
+		key := e.Attr(rt.scheme.KeyAttr[e.Src])
+		owner = rt.bandShard(key)
+		d := rt.scheme.Delta
+		lo, hi := rt.bandCell(key-d), rt.bandCell(key+d)
+		for c := lo; c <= hi; c++ {
+			if s := rt.cellShard(c); s != owner && !contains(rt.targets, s) {
+				rt.targets = append(rt.targets, s)
+			}
+		}
+		return false, owner
+	default: // PartitionEqui, PartitionNone
+		a := -1
+		if rt.scheme.Covered(e.Src) {
+			a = rt.scheme.KeyAttr[e.Src]
+		}
+		switch {
+		case a >= 0:
+			bits, ok := index.KeyBits(e.Attr(a))
+			if !ok {
+				bits = 0 // NaN key: can never match, any shard will do
+			}
+			return false, rt.hashShard(bits)
+		case rt.scheme.Mode == join.PartitionNone && e.Src == 0:
+			return false, rt.hashShard(e.Seq)
+		default:
+			return true, 0
+		}
+	}
+}
+
+// hashShard maps canonical key bits (or a sequence number) to a shard. A
+// plain multiplicative mix is not enough here: small-integer float64 keys
+// are multiples of 2^52, so the product's low bits — which the modulo
+// consumes — stay constant and every key lands on shard 0. The
+// xor-fold/multiply finalizer (Murmur3/splitmix style) avalanches all 64
+// bits.
+func (rt *Runtime) hashShard(bits uint64) int {
+	bits ^= bits >> 33
+	bits *= 0xFF51AFD7ED558CCD
+	bits ^= bits >> 33
+	bits *= 0xC4CEB9FE1A85EC53
+	bits ^= bits >> 33
+	return int(bits % uint64(rt.n))
+}
+
+// bandCell quantizes a band key to its range cell. The clamp *saturates*
+// — it must stay monotone in key so that the replication span
+// [bandCell(key−Δ), bandCell(key+Δ)] of one tuple always encloses the
+// owner cell of every band partner (a collapse-to-zero clamp would tear
+// pairs straddling the clamp boundary apart). NaN keys can never satisfy
+// a band predicate, so any deterministic cell works; ±Inf saturate like
+// huge finite keys.
+func (rt *Runtime) bandCell(key float64) int64 {
+	v := math.Floor(key / rt.cell)
+	switch {
+	case math.IsNaN(v):
+		return 0
+	case v > 1e15:
+		return int64(1e15)
+	case v < -1e15:
+		return -int64(1e15)
+	}
+	return int64(v)
+}
+
+func (rt *Runtime) bandShard(key float64) int { return rt.cellShard(rt.bandCell(key)) }
+
+func (rt *Runtime) cellShard(cell int64) int {
+	n := int64(rt.n)
+	return int(((cell % n) + n) % n)
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// send appends m to shard s's pending batch, flushing a full batch to the
+// queue.
+func (rt *Runtime) send(s int, m msg) {
+	rt.pend[s] = append(rt.pend[s], m)
+	if len(rt.pend[s]) >= rt.cfg.BatchSize {
+		rt.flush(s)
+	}
+}
+
+func (rt *Runtime) flush(s int) {
+	if len(rt.pend[s]) == 0 {
+		return
+	}
+	rt.workers[s].ch <- rt.pend[s]
+	rt.pend[s] = rt.getBatch()
+}
+
+// drain quiesces every shard: a barrier message rides at the tail of each
+// pending batch, and the workers acknowledge once their queue is empty.
+func (rt *Runtime) drain() {
+	rt.barrier.Add(rt.n)
+	for s := range rt.workers {
+		rt.pend[s] = append(rt.pend[s], msg{kind: msgBarrier})
+		rt.flush(s)
+	}
+	rt.barrier.Wait()
+}
+
+// FlushInterval drains the shards and merges one interval's streams in
+// deterministic (arrival, shard) order: for every globally in-order tuple
+// of the interval, buffered results (if materializing) are emitted first,
+// then visit receives the tuple's result timestamp, delay annotation,
+// global cross size n×(e) and merged result count n^on(e) — exactly the
+// per-tuple sequence a single-shard operator would have produced. Interval
+// state is reset before returning, so tuples routed afterwards (e.g. by an
+// eager K shrink) are accounted to the next interval.
+func (rt *Runtime) FlushInterval(
+	visit func(ts, delay stream.Time, nCross, nOn int64),
+	emit func(stream.Result),
+) {
+	rt.drain()
+	for s := range rt.ptr {
+		rt.ptr[s] = 0
+	}
+	for i := range rt.delays {
+		var tot int64
+		for s, w := range rt.workers {
+			if i < len(w.onAcc) {
+				tot += w.onAcc[i]
+			}
+			if emit != nil {
+				for rt.ptr[s] < len(w.resIdx) && w.resIdx[rt.ptr[s]] == i {
+					emit(w.res[rt.ptr[s]])
+					rt.ptr[s]++
+				}
+			}
+		}
+		if visit != nil {
+			visit(rt.resTS[i], rt.delays[i], rt.crosses[i], tot)
+		}
+	}
+	rt.delays = rt.delays[:0]
+	rt.crosses = rt.crosses[:0]
+	rt.resTS = rt.resTS[:0]
+	for _, w := range rt.workers {
+		w.onAcc = w.onAcc[:0]
+		clear(w.res)
+		w.res = w.res[:0]
+		w.resIdx = w.resIdx[:0]
+	}
+}
+
+// ShardLoads returns, per shard, how many messages its operator has
+// processed so far (probe messages only). Call after a FlushInterval for a
+// quiesced view; it is a balance diagnostic, not part of the semantics.
+func (rt *Runtime) ShardLoads() []int64 {
+	out := make([]int64, rt.n)
+	for s, w := range rt.workers {
+		out[s] = w.op.Processed()
+	}
+	return out
+}
+
+// Close stops the shard goroutines. Call after a final FlushInterval; the
+// runtime cannot be reused.
+func (rt *Runtime) Close() {
+	if rt.finished {
+		return
+	}
+	rt.finished = true
+	for s := range rt.workers {
+		rt.flush(s)
+		close(rt.workers[s].ch)
+	}
+	for _, w := range rt.workers {
+		<-w.done
+	}
+}
+
+// run is the shard goroutine: FIFO over batches, one operator step per
+// message.
+func (w *worker) run() {
+	defer close(w.done)
+	for batch := range w.ch {
+		for i := range batch {
+			m := &batch[i]
+			switch m.kind {
+			case msgProbe:
+				w.curIdx = m.idx
+				if nOn := w.op.ProcessAt(m.e, m.wm); nOn != 0 {
+					w.add(m.idx, nOn)
+				}
+			case msgInsert:
+				w.op.InsertAt(m.e, m.wm)
+			default:
+				w.rt.barrier.Done()
+			}
+		}
+		clear(batch)
+		w.rt.pool.Put(batch[:0])
+	}
+}
+
+// add accumulates a result count under arrival index idx.
+func (w *worker) add(idx int, n int64) {
+	for len(w.onAcc) <= idx {
+		w.onAcc = append(w.onAcc, 0)
+	}
+	w.onAcc[idx] += n
+}

@@ -132,6 +132,7 @@ type joinOpts struct {
 	emit    join.EmitFunc
 	counts  join.CountEmitFunc
 	onAdapt func(AdaptEvent)
+	shards  int
 }
 
 // AdaptEvent reports one buffer-size adaptation step.
@@ -153,6 +154,27 @@ func WithResultCounts(f func(ts Time, n int64)) JoinOption {
 // WithAdaptHook registers a callback observing every adaptation step.
 func WithAdaptHook(f func(AdaptEvent)) JoinOption {
 	return func(o *joinOpts) { o.onAdapt = f }
+}
+
+// WithShards runs the join operator as n key-partitioned shards on n
+// goroutines. The planner picks the partition key from the condition — an
+// equi key class is hash-partitioned, a band key class is range-
+// partitioned with overlap replication, and purely generic conditions fall
+// back to partitioning stream 0 and broadcasting the rest. Disorder
+// handling (K-slack, Synchronizer) and the quality-driven feedback loop
+// stay global: one Same-K decision governs all shards, and per-shard
+// result and statistics streams merge deterministically at every
+// adaptation-interval boundary, so a sharded run produces exactly the
+// result multiset of the single-shard run.
+//
+// Result sinks (WithResults, WithResultCounts, RunChannel) consequently
+// see results in interval-sized batches rather than per arrival. n ≤ 1
+// selects the classic single-threaded path; n < 0 panics.
+func WithShards(n int) JoinOption {
+	if n < 0 {
+		panic("qdhj: WithShards needs n ≥ 0 shards")
+	}
+	return func(o *joinOpts) { o.shards = n }
 }
 
 // Join is an m-way sliding window join with quality-driven disorder
@@ -209,6 +231,7 @@ func NewJoin(cond *Condition, windows []Time, opt Options, jopts ...JoinOption) 
 		Emit:       jo.emit,
 		EmitCounts: jo.counts,
 		OnAdapt:    jo.onAdapt,
+		Sharding:   core.Sharding{Shards: jo.shards},
 	}
 	return &Join{p: core.New(cfg), hasSink: jo.emit != nil}
 }

@@ -255,6 +255,96 @@ func TestStatsExposed(t *testing.T) {
 	}
 }
 
+// TestWithShardsMatchesSingleThreaded: the public sharded path reproduces
+// the single-threaded results and adaptation trajectory exactly.
+func TestWithShardsMatchesSingleThreaded(t *testing.T) {
+	in := feed(3000, 9)
+	w := []Time{Second, Second}
+	opt := Options{Gamma: 0.9, Period: 10 * Second}
+
+	ref := NewJoin(EquiChain(2, 0), w, opt)
+	for _, e := range cloneBatch(in) {
+		ref.Push(e)
+	}
+	ref.Close()
+
+	for _, n := range []int{1, 2, 4, 8} {
+		j := NewJoin(EquiChain(2, 0), w, opt, WithShards(n))
+		for _, e := range cloneBatch(in) {
+			j.Push(e)
+		}
+		j.Close()
+		if j.Results() != ref.Results() || j.AvgK() != ref.AvgK() || j.Adaptations() != ref.Adaptations() {
+			t.Fatalf("shards=%d: results %d vs %d, avgK %v vs %v, adapts %d vs %d",
+				n, j.Results(), ref.Results(), j.AvgK(), ref.AvgK(), j.Adaptations(), ref.Adaptations())
+		}
+	}
+}
+
+// TestRunChannelSharded: the channel runner works on the sharded path and
+// delivers the complete result set (in interval batches) before closing.
+func TestRunChannelSharded(t *testing.T) {
+	mk := func(opts ...JoinOption) *Join {
+		return NewJoin(EquiChain(2, 0), []Time{Second, Second},
+			Options{Policy: StaticSlack, StaticK: 2 * Second}, opts...)
+	}
+	ref := mk()
+	for _, e := range cloneBatch(feed(800, 11)) {
+		ref.Push(e)
+	}
+	ref.Close()
+
+	j := mk(WithShards(4))
+	in := make(chan *Tuple, 64)
+	out := j.RunChannel(in)
+	go func() {
+		for _, e := range cloneBatch(feed(800, 11)) {
+			in <- e
+		}
+		close(in)
+	}()
+	var n int64
+	for range out {
+		n++
+	}
+	if n != ref.Results() || n != j.Results() {
+		t.Fatalf("sharded channel delivered %d, Results() = %d, single-threaded = %d",
+			n, j.Results(), ref.Results())
+	}
+}
+
+// TestPushAfterClosePanics: a closed join cannot be restarted; pushing
+// must fail loudly instead of silently dropping the tuple.
+func TestPushAfterClosePanics(t *testing.T) {
+	for _, opts := range [][]JoinOption{nil, {WithShards(2)}} {
+		j := NewJoin(EquiChain(2, 0), []Time{Second, Second}, Options{}, opts...)
+		j.Push(&Tuple{TS: 1000, Src: 0, Attrs: []float64{1}})
+		j.Close()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("opts=%d: Push after Close must panic", len(opts))
+				}
+			}()
+			j.Push(&Tuple{TS: 1100, Src: 1, Attrs: []float64{1}})
+		}()
+	}
+}
+
+// TestConditionMutationAfterNewJoinPanics: adding predicates to a
+// condition already compiled into a join would silently diverge the
+// executors from Matches.
+func TestConditionMutationAfterNewJoinPanics(t *testing.T) {
+	cond := EquiChain(2, 0)
+	_ = NewJoin(cond, []Time{Second, Second}, Options{}, WithShards(2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mutating a compiled condition must panic")
+		}
+	}()
+	cond.Equi(0, 1, 1, 1)
+}
+
 func cloneBatch(in []*Tuple) []*Tuple {
 	out := make([]*Tuple, len(in))
 	for i, e := range in {
