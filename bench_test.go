@@ -21,6 +21,7 @@ import (
 	"repro/internal/adapt"
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/gen"
 	"repro/internal/stream"
 )
 
@@ -270,6 +271,65 @@ func BenchmarkShardedOperatorThroughput(b *testing.B) {
 				_ = n
 			})
 		}
+	}
+}
+
+var (
+	treeBenchOnce sync.Once
+	treeBenchIn   stream.Batch
+	treeBenchMaxD Time
+)
+
+// treeBenchWorkload builds the tree benchmark feed once per process: a
+// sparse-key disordered 3-way equi join (a tree deployment suits
+// low-selectivity joins — dense joins favor the MJoin operator, measured by
+// BenchmarkOperatorThroughput above), with asymmetric per-stream delays so
+// the per-stage mode has something to exploit.
+func treeBenchWorkload() (stream.Batch, Time) {
+	treeBenchOnce.Do(func() {
+		treeBenchIn = gen.SparseEqui3(20000, 17, 500, [3]Time{150, 150, 2500})
+		treeBenchMaxD, _ = treeBenchIn.MaxDelay()
+	})
+	return treeBenchIn, treeBenchMaxD
+}
+
+// BenchmarkTreeThroughput measures the binary-tree deployment (Sec. V)
+// across its three adaptation modes: fixed-K at the feed's max delay, the
+// global Same-K feedback loop, and per-stage adaptive K. The buffered-delay
+// sum rides along as the latency metric the per-stage policy exists to
+// shrink on asymmetric-delay inputs like this one.
+func BenchmarkTreeThroughput(b *testing.B) {
+	aopt := Options{Gamma: 0.95, Period: 30 * Second, Interval: Second}
+	modes := []struct {
+		name string
+		opts []TreeOption
+	}{
+		{"fixed", nil},
+		{"same-k", []TreeOption{WithTreeAdaptation(aopt)}},
+		{"per-stage", []TreeOption{WithTreeAdaptation(aopt), WithPerStageK()}},
+	}
+	in, maxD := treeBenchWorkload()
+	windows := []Time{2 * Second, 2 * Second, 2 * Second}
+	for _, mode := range modes {
+		mode := mode
+		initialK := Time(0)
+		if mode.name == "fixed" {
+			initialK = maxD
+		}
+		b.Run(mode.name, func(b *testing.B) {
+			b.ResetTimer()
+			var sumBufK float64
+			for i := 0; i < b.N; i++ {
+				j := NewTreeJoin(EquiChain(3, 0), windows, initialK, nil, mode.opts...)
+				for _, e := range in {
+					j.Push(e)
+				}
+				j.Close()
+				sumBufK = j.BufferedDelaySum()
+			}
+			b.ReportMetric(float64(len(in)*b.N)/b.Elapsed().Seconds(), "tuples/s")
+			b.ReportMetric(sumBufK/1000, "sumBufK_s")
+		})
 	}
 }
 

@@ -32,6 +32,9 @@ import (
 
 	qdhj "repro"
 	"repro/internal/exp"
+	"repro/internal/gen"
+	"repro/internal/join"
+	"repro/internal/stream"
 )
 
 func main() {
@@ -117,14 +120,24 @@ func parseShards(s string) []int {
 	return out
 }
 
-// benchEntry is one dataset × shard-count throughput measurement. Shards 1
-// is the classic single-threaded path (no shard runtime at all).
+// benchEntry is one dataset × configuration throughput measurement. Mode
+// "operator" entries sweep the sharded MJoin operator (Shards 1 is the
+// classic single-threaded path); mode "tree" entries sweep the binary-tree
+// deployment's adaptation policies (fixed-K at the dataset's max delay,
+// Same-K-adaptive, per-stage-adaptive). RelRecall is the tree run's result
+// count relative to its fixed-K (full-buffering) run; SumBufKSec is the
+// total buffered delay Σ_intervals Σ_buffers K in seconds — the aggregate
+// latency the adaptation paid, which per-stage K exists to shrink.
 type benchEntry struct {
 	Dataset        string  `json:"dataset"`
-	Shards         int     `json:"shards"`
+	Mode           string  `json:"mode"`
+	Shards         int     `json:"shards,omitempty"`
 	Partition      string  `json:"partition,omitempty"`
+	TreeAdapt      string  `json:"tree_adapt,omitempty"`
 	Tuples         int     `json:"tuples"`
 	Results        int64   `json:"results"`
+	RelRecall      float64 `json:"rel_recall,omitempty"`
+	SumBufKSec     float64 `json:"sum_buf_k_sec,omitempty"`
 	Seconds        float64 `json:"seconds"`
 	TuplesPerSec   float64 `json:"tuples_per_s"`
 	AllocsPerTuple float64 `json:"allocs_per_tuple"`
@@ -148,7 +161,7 @@ type benchReport struct {
 // JSON report.
 func runBenchJSON(path string, minutes float64, seed int64, shardCounts []int, dss []*exp.Dataset) error {
 	rep := benchReport{
-		Schema:    "qdhj-operator-throughput/2",
+		Schema:    "qdhj-operator-throughput/3",
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -179,6 +192,7 @@ func runBenchJSON(path string, minutes float64, seed int64, shardCounts []int, d
 			n := len(in)
 			rep.Entries = append(rep.Entries, benchEntry{
 				Dataset:        ds.Name,
+				Mode:           "operator",
 				Shards:         nShards,
 				Partition:      part,
 				Tuples:         n,
@@ -192,11 +206,84 @@ func runBenchJSON(path string, minutes float64, seed int64, shardCounts []int, d
 				ds.Name, nShards, n, float64(n)/dt, float64(m1.Mallocs-m0.Mallocs)/float64(n))
 		}
 	}
+	rep.Entries = append(rep.Entries, benchTree(minutes, seed)...)
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// treeDataset builds the tree-sweep workload: a sparse-key (domain 500)
+// disordered 3-way equi join with asymmetric per-stream delays (streams 0/1
+// ≤ 150 ms, stream 2 ≤ 2.5 s). The paper's evaluation datasets are dense —
+// a 5-minute x3 derives hundreds of millions of results, which the tree
+// would materialize one intermediate at a time — while tree deployments
+// target exactly this low-selectivity regime; the asymmetry is what the
+// per-stage policy exists to exploit.
+func treeDataset(minutes float64, seed int64) (stream.Batch, *join.Condition, []stream.Time) {
+	n := int(minutes * float64(stream.Minute) / 10)
+	in := gen.SparseEqui3(n, seed, 500, [3]stream.Time{150, 150, 2500})
+	w := 2 * stream.Second
+	return in, join.EquiChain(3, 0), []stream.Time{w, w, w}
+}
+
+// benchTree sweeps the binary-tree deployment's adaptation policies on the
+// sparse asymmetric-delay tree workload: fixed-K at the feed's maximum
+// delay (the full-buffering reference all RelRecall values are measured
+// against), Same-K-adaptive, and per-stage-adaptive (Γ = 0.95, the paper's
+// default requirement).
+func benchTree(minutes float64, seed int64) []benchEntry {
+	arrivals, cond, windows := treeDataset(minutes, seed)
+	maxD, _ := arrivals.MaxDelay()
+	aopt := qdhj.Options{Gamma: 0.95, Period: 30 * qdhj.Second, Interval: qdhj.Second}
+	configs := []struct {
+		name     string
+		initialK qdhj.Time
+		opts     []qdhj.TreeOption
+	}{
+		{"fixed", maxD, nil},
+		{"same-k", 0, []qdhj.TreeOption{qdhj.WithTreeAdaptation(aopt)}},
+		{"per-stage", 0, []qdhj.TreeOption{qdhj.WithTreeAdaptation(aopt), qdhj.WithPerStageK()}},
+	}
+	var out []benchEntry
+	var fixedResults int64
+	for _, c := range configs {
+		in := arrivals.Clone()
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		t0 := time.Now()
+		j := qdhj.NewTreeJoin(cond, windows, c.initialK, nil, c.opts...)
+		for _, e := range in {
+			j.Push(e)
+		}
+		j.Close()
+		dt := time.Since(t0).Seconds()
+		runtime.ReadMemStats(&m1)
+		n := len(in)
+		e := benchEntry{
+			Dataset:        "tree-sparse-x3",
+			Mode:           "tree",
+			TreeAdapt:      c.name,
+			Tuples:         n,
+			Results:        j.Results(),
+			SumBufKSec:     j.BufferedDelaySum() / 1000,
+			Seconds:        dt,
+			TuplesPerSec:   float64(n) / dt,
+			AllocsPerTuple: float64(m1.Mallocs-m0.Mallocs) / float64(n),
+			BytesPerTuple:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(n),
+		}
+		if c.name == "fixed" {
+			fixedResults = j.Results()
+		} else if fixedResults > 0 {
+			e.RelRecall = float64(j.Results()) / float64(fixedResults)
+		}
+		out = append(out, e)
+		fmt.Fprintf(os.Stderr, "%-22s tree/%-9s %9d tuples  %12.0f tuples/s  recall≈%.4f  ΣK=%.0fs\n",
+			"tree-sparse-x3", c.name, n, e.TuplesPerSec, e.RelRecall, e.SumBufKSec)
+	}
+	return out
 }
 
 // pick filters datasets to the given keys (Fig. 8–10 use x2 and x3, as the

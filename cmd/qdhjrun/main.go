@@ -1,11 +1,16 @@
 // Command qdhjrun replays a CSV dataset (see qdhjgen) through the
-// quality-driven disorder handling pipeline and reports result counts,
-// average buffer size and recall against the oracle.
+// quality-driven disorder handling framework and reports result counts,
+// average buffer size and recall against the oracle. All three deployment
+// shapes are drivable: the single MJoin-style operator (default), the
+// left-deep binary tree (-tree), and the pipelined tree (-pipelined); the
+// tree shapes take the same adaptation flags, plus -perstage for one K per
+// binary stage.
 //
 // Usage:
 //
 //	qdhjgen -dataset x3 -minutes 10 -o d.csv
 //	qdhjrun -in d.csv -query x3 -gamma 0.95 -policy model
+//	qdhjrun -in d.csv -query x3 -tree -perstage
 package main
 
 import (
@@ -13,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	qdhj "repro"
 	"repro/internal/adapt"
 	"repro/internal/core"
 	"repro/internal/exp"
@@ -24,19 +30,28 @@ import (
 
 func main() {
 	var (
-		in       = flag.String("in", "", "input CSV (from qdhjgen); required")
-		query    = flag.String("query", "x3", "query: x2|x3|x4|cross|equichain")
-		gamma    = flag.Float64("gamma", 0.95, "recall requirement Γ")
-		periodS  = flag.Float64("P", 60, "measurement period P (seconds)")
-		interval = flag.Float64("L", 1, "adaptation interval L (seconds)")
-		policy   = flag.String("policy", "model", "policy: model|maxk|nok|static")
-		staticK  = flag.Float64("k", 0, "buffer size for -policy static (seconds)")
-		strategy = flag.String("strategy", "noneqsel", "selectivity strategy: eqsel|noneqsel")
+		in        = flag.String("in", "", "input CSV (from qdhjgen); required")
+		query     = flag.String("query", "x3", "query: x2|x3|x4|cross|equichain")
+		gamma     = flag.Float64("gamma", 0.95, "recall requirement Γ")
+		periodS   = flag.Float64("P", 60, "measurement period P (seconds)")
+		interval  = flag.Float64("L", 1, "adaptation interval L (seconds)")
+		policy    = flag.String("policy", "model", "policy: model|maxk|nok|static")
+		staticK   = flag.Float64("k", 0, "buffer size for -policy static (seconds)")
+		strategy  = flag.String("strategy", "noneqsel", "selectivity strategy: eqsel|noneqsel")
+		tree      = flag.Bool("tree", false, "execute as a left-deep binary tree (Sec. V) instead of the single operator")
+		pipelined = flag.Bool("pipelined", false, "execute as the pipelined binary tree (one goroutine per stage)")
+		perStage  = flag.Bool("perstage", false, "with -tree/-pipelined: one adaptive K per binary stage instead of Same-K")
 	)
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *tree && *pipelined {
+		fatal(fmt.Errorf("-tree and -pipelined are mutually exclusive"))
+	}
+	if *perStage && !*tree && !*pipelined {
+		fatal(fmt.Errorf("-perstage needs -tree or -pipelined"))
 	}
 	f, err := os.Open(*in)
 	if err != nil {
@@ -73,6 +88,12 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "computing oracle ground truth...\n")
 	truth := oracle.TrueResults(ds.Cond, ds.Windows, ds.Arrivals)
+
+	if *tree || *pipelined {
+		runTree(ds, truth, acfg, *policy, stream.Time(*staticK*float64(stream.Second)),
+			*pipelined, *perStage)
+		return
+	}
 	eds := &exp.Dataset{Dataset: ds, Truth: truth}
 	s := exp.Run(eds, acfg, pf)
 
@@ -88,6 +109,94 @@ func main() {
 	}
 	if s.AdaptSteps > 0 {
 		fmt.Printf("adaptation:     %d steps, avg %v per step\n", s.AdaptSteps, s.AvgAdaptTime())
+	}
+}
+
+// runTree replays the dataset through the binary-tree deployment (Sec. V),
+// synchronous or pipelined, with fixed-K (policy "static"), Same-K-adaptive
+// or per-stage-adaptive buffers, and reports recall against the oracle.
+func runTree(ds *gen.Dataset, truth *oracle.Index, acfg adapt.Config, policy string,
+	staticK stream.Time, pipelined, perStage bool) {
+	opt := qdhj.Options{
+		Gamma:    acfg.Gamma,
+		Period:   acfg.P,
+		Interval: acfg.L,
+		Strategy: acfg.Strategy,
+	}
+	var opts []qdhj.TreeOption
+	var initialK stream.Time
+	mode := "same-k adaptive"
+	switch policy {
+	case "static":
+		initialK = staticK
+		mode = "fixed-K"
+	case "maxk":
+		opt.Policy = qdhj.MaxSlack
+		opts = append(opts, qdhj.WithTreeAdaptation(opt))
+		mode = "max-K adaptive"
+	case "nok":
+		opt.Policy = qdhj.NoSlack
+		opts = append(opts, qdhj.WithTreeAdaptation(opt))
+		mode = "no-K"
+	case "model":
+		opts = append(opts, qdhj.WithTreeAdaptation(opt))
+	default:
+		fatal(fmt.Errorf("unknown policy %q for tree execution", policy))
+	}
+	if perStage {
+		opts = append(opts, qdhj.WithPerStageK())
+		mode = "per-stage adaptive"
+	}
+
+	arrivals := ds.Arrivals.Clone()
+	var produced int64
+	var sumBufK float64
+	var adaptations int64
+	shape := "tree"
+	if pipelined {
+		shape = "pipelined tree"
+		j := qdhj.NewPipelinedTreeJoin(ds.Cond, ds.Windows, initialK, 512, opts...)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for range j.Results() {
+				produced++
+			}
+		}()
+		for _, e := range arrivals {
+			j.Push(e)
+		}
+		j.Close()
+		<-done
+		j.Wait()
+		sumBufK = j.BufferedDelaySum()
+	} else {
+		j := qdhj.NewTreeJoin(ds.Cond, ds.Windows, initialK, nil, opts...)
+		for _, e := range arrivals {
+			j.Push(e)
+		}
+		j.Close()
+		produced = j.Results()
+		sumBufK = j.BufferedDelaySum()
+		adaptations = j.Adaptations()
+		if ks := j.CurrentKs(); ks != nil {
+			fmt.Fprintf(os.Stderr, "final Ks: %v\n", ks)
+		}
+	}
+
+	recall := 0.0
+	if truth.Total() > 0 {
+		recall = float64(produced) / float64(truth.Total())
+	}
+	fmt.Printf("dataset:        %s (%d tuples, %d streams)\n", ds.Name, len(ds.Arrivals), ds.M)
+	fmt.Printf("execution:      %s, %s  Γ=%g  P=%v  L=%v\n", shape, mode, acfg.Gamma, acfg.P, acfg.L)
+	fmt.Printf("produced:       %d of %d true results (overall recall %.4f)\n",
+		produced, truth.Total(), recall)
+	if mode != "fixed-K" {
+		fmt.Printf("buffered delay: %.3f s summed over intervals and buffers\n", sumBufK/1000)
+		if adaptations > 0 {
+			fmt.Printf("adaptation:     %d steps\n", adaptations)
+		}
 	}
 }
 

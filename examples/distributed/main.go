@@ -1,41 +1,36 @@
 // Distributed: Sec. V of the paper — the same 3-way join executed as a
 // left-deep tree of binary join operators, each fronted by its own
-// Synchronizer, first synchronously and then pipelined across goroutines.
-// Both must produce exactly the same results as each other (and, with a
-// buffer covering the maximum delay, the same results as the single
-// MJoin-style operator).
+// Synchronizer. The example contrasts the tree's buffer-sizing modes on an
+// asymmetric-delay feed (streams 0 and 1 nearly ordered, stream 2 heavily
+// delayed):
+//
+//  1. fixed-K at the maximum delay — full recall, maximal latency (the
+//     reference, agreeing with the single MJoin-style operator);
+//  2. Same-K adaptation — the quality-driven feedback loop decides ONE K
+//     for all streams, as the single operator does;
+//  3. per-stage adaptation (WithPerStageK) — every binary stage sizes its
+//     own buffer from its two input delay profiles, so the nearly-ordered
+//     stage 0 pays almost no latency while stage 1 buys what the recall
+//     requirement needs: the same quality at roughly half the total
+//     buffered delay.
+//
+// See the top-level README.md for the other deployment shapes and
+// DESIGN.md §8 for the per-stage model.
 package main
 
 import (
 	"fmt"
-	"math/rand"
 
 	qdhj "repro"
+	"repro/internal/gen"
 	"repro/internal/stream"
 )
 
-// workload builds a 3-stream feed with sparse keys (domain 500), so the
-// binary tree's materialized intermediates stay small — a tree deployment
-// suits low-selectivity joins; dense joins favor the MJoin operator.
+// workload builds a 3-stream feed with sparse keys (domain 500) and
+// asymmetric disorder: a tree deployment suits low-selectivity joins, and
+// per-stage K exists for asymmetric delays.
 func workload() (stream.Batch, *qdhj.Condition, []qdhj.Time) {
-	rng := rand.New(rand.NewSource(9))
-	var in stream.Batch
-	var seq uint64
-	ts := qdhj.Time(3000)
-	for i := 0; i < 4000; i++ {
-		ts += 10
-		for src := 0; src < 3; src++ {
-			t := ts
-			if rng.Intn(4) == 0 {
-				t -= qdhj.Time(rng.Intn(2500))
-			}
-			in = append(in, &qdhj.Tuple{
-				TS: t, Seq: seq, Src: src,
-				Attrs: []float64{float64(rng.Intn(500))},
-			})
-			seq++
-		}
-	}
+	in := gen.SparseEqui3(8000, 9, 500, [3]qdhj.Time{150, 150, 2500})
 	w := 2 * qdhj.Second
 	return in, qdhj.EquiChain(3, 0), []qdhj.Time{w, w, w}
 }
@@ -43,30 +38,24 @@ func workload() (stream.Batch, *qdhj.Condition, []qdhj.Time) {
 func main() {
 	arrivals, cond, windows := workload()
 	maxDelay, _ := arrivals.MaxDelay()
-	ds := struct {
-		Arrivals stream.Batch
-		Cond     *qdhj.Condition
-		Windows  []qdhj.Time
-	}{arrivals, cond, windows}
+	opt := qdhj.Options{Gamma: 0.95, Period: 20 * qdhj.Second, Interval: qdhj.Second}
 
-	// Single MJoin-style operator with full buffering (reference).
-	ref := qdhj.NewJoin(ds.Cond, ds.Windows, qdhj.Options{
-		Policy: qdhj.StaticSlack, StaticK: maxDelay,
-	})
-	for _, e := range ds.Arrivals.Clone() {
-		ref.Push(e)
+	run := func(initialK qdhj.Time, opts ...qdhj.TreeOption) *qdhj.TreeJoin {
+		j := qdhj.NewTreeJoin(cond, windows, initialK, nil, opts...)
+		for _, e := range arrivals.Clone() {
+			j.Push(e)
+		}
+		j.Close()
+		return j
 	}
-	ref.Close()
 
-	// Binary tree, synchronous.
-	tree := qdhj.NewTreeJoin(ds.Cond, ds.Windows, maxDelay, nil)
-	for _, e := range ds.Arrivals.Clone() {
-		tree.Push(e)
-	}
-	tree.Close()
+	fixed := run(maxDelay)
+	same := run(0, qdhj.WithTreeAdaptation(opt))
+	per := run(0, qdhj.WithTreeAdaptation(opt), qdhj.WithPerStageK())
 
-	// Binary tree, one goroutine per operator.
-	pipe := qdhj.NewPipelinedTreeJoin(ds.Cond, ds.Windows, maxDelay, 512)
+	// The pipelined variant accepts the same options; it must agree with the
+	// synchronous tree on the fixed-K reference.
+	pipe := qdhj.NewPipelinedTreeJoin(cond, windows, maxDelay, 512)
 	var piped int64
 	done := make(chan struct{})
 	go func() {
@@ -75,19 +64,22 @@ func main() {
 			piped++
 		}
 	}()
-	for _, e := range ds.Arrivals.Clone() {
+	for _, e := range arrivals.Clone() {
 		pipe.Push(e)
 	}
 	pipe.Close()
 	<-done
 	pipe.Wait()
 
-	fmt.Printf("MJoin operator:        %d results\n", ref.Results())
-	fmt.Printf("binary tree (%d ops):  %d results\n", tree.Operators(), tree.Results())
-	fmt.Printf("pipelined tree:        %d results\n", piped)
-	if ref.Results() == tree.Results() && tree.Results() == piped {
-		fmt.Println("all three agree ✓")
-	} else {
-		fmt.Println("MISMATCH — this is a bug")
+	full := float64(fixed.Results())
+	fmt.Printf("fixed-K (%v, %d ops):  %8d results (reference)\n",
+		maxDelay, fixed.Operators(), fixed.Results())
+	fmt.Printf("pipelined fixed-K:         %8d results\n", piped)
+	fmt.Printf("Same-K adaptive:           %8d results (%.2f%% of full)  ΣK=%7.0fs\n",
+		same.Results(), 100*float64(same.Results())/full, same.BufferedDelaySum()/1000)
+	fmt.Printf("per-stage adaptive:        %8d results (%.2f%% of full)  ΣK=%7.0fs  Ks=%v\n",
+		per.Results(), 100*float64(per.Results())/full, per.BufferedDelaySum()/1000, per.CurrentKs())
+	if fixed.Results() != piped {
+		fmt.Println("MISMATCH between synchronous and pipelined tree — this is a bug")
 	}
 }

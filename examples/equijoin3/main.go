@@ -2,6 +2,9 @@
 // out-of-order streams — demonstrating how the user-specified recall
 // requirement Γ steers the latency/quality tradeoff: higher Γ, larger
 // buffers, more of the true results.
+//
+// See the top-level README.md for the full API tour and the other
+// deployment shapes.
 package main
 
 import (

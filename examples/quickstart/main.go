@@ -2,6 +2,9 @@
 // quality requirement of γ(P) ≥ 0.95, showing how the framework keeps the
 // sorting buffer — and therefore the added result latency — small while the
 // recall requirement is met.
+//
+// See the top-level README.md for the full API tour and the other
+// deployment shapes.
 package main
 
 import (

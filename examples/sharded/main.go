@@ -4,6 +4,9 @@
 // buffer-size feedback loop stay global — so every shard count produces
 // exactly the same results and the same adaptation trajectory, only
 // faster on multi-core hosts.
+//
+// See the top-level README.md for the full API tour and the other
+// deployment shapes.
 package main
 
 import (

@@ -16,6 +16,9 @@
 //   - The three disorder handling policies on the same data: no buffering,
 //     maximum buffering, and the paper's quality-driven buffering with
 //     Γ = 0.95.
+//
+// See the top-level README.md for the full API tour and the other
+// deployment shapes.
 package main
 
 import (

@@ -18,11 +18,41 @@ import (
 	"math"
 	"time"
 
-	"repro/internal/monitor"
 	"repro/internal/profiler"
-	"repro/internal/stats"
 	"repro/internal/stream"
 )
+
+// Source supplies the per-input delay statistics the model-based policy
+// reads: one cumulative delay distribution and Synchronizer buffer estimate
+// per model input, plus the recent maximum delay bounding the Alg. 3 search.
+// stats.Manager implements it directly (inputs = raw streams); the feedback
+// runtime also implements it per decision scope, where an input may be a
+// *group* of raw streams (e.g. the left side of a binary tree stage) whose
+// distributions are merged. The seam keeps this package free of any
+// dependency on how statistics are collected.
+type Source interface {
+	// CDF returns Pr[D_i ≤ d] over coarse g-buckets for model input i; nil
+	// means "no delays observed" (all mass at zero).
+	CDF(i int) []float64
+	// KSync estimates the Synchronizer's implicit buffer for input i.
+	KSync(i int) stream.Time
+	// MaxDelayRecent returns MaxD^H over the inputs' recent histories.
+	MaxDelayRecent() stream.Time
+}
+
+// ResultWindow is the Result-Size Monitor seam of the Γ′ derivation (Eq. 7):
+// produced results and summed true-size estimates within the last P−L time
+// units. monitor.Monitor implements it.
+type ResultWindow interface {
+	Produced() int64
+	TrueEstimate() float64
+}
+
+// DelayTracker is the all-time maximum-delay seam of the Max-K-slack
+// baseline. stats.Manager implements it.
+type DelayTracker interface {
+	MaxDelayAllTime() stream.Time
+}
 
 // Strategy selects how the selectivity under incomplete disorder handling is
 // modeled (Sec. IV-B).
@@ -139,7 +169,7 @@ func (NoK) Decide(stream.Time, *profiler.Snapshot) stream.Time { return 0 }
 // MaxK is the Max-K-slack baseline [12]: K equals the maximum delay among
 // all so-far-observed tuples from all streams.
 type MaxK struct {
-	Stats *stats.Manager
+	Stats DelayTracker
 }
 
 // Name implements Policy.
@@ -163,8 +193,8 @@ func (p Static) Decide(stream.Time, *profiler.Snapshot) stream.Time { return p.K
 type Model struct {
 	cfg     Config
 	windows []stream.Time
-	stats   *stats.Manager
-	mon     *monitor.Monitor
+	stats   Source
+	mon     ResultWindow
 
 	// instrumentation for Fig. 11 and the ablation benches
 	steps      int64
@@ -174,8 +204,9 @@ type Model struct {
 	lastRecall float64
 }
 
-// NewModel creates the model-based policy. windows are the W_i of the join.
-func NewModel(cfg Config, windows []stream.Time, st *stats.Manager, mon *monitor.Monitor) *Model {
+// NewModel creates the model-based policy. windows are the W_i of the model
+// inputs (one per Source input).
+func NewModel(cfg Config, windows []stream.Time, st Source, mon ResultWindow) *Model {
 	return &Model{cfg: cfg.Normalize(), windows: windows, stats: st, mon: mon}
 }
 
@@ -186,9 +217,24 @@ func (m *Model) Name() string { return "Model(" + m.cfg.Strategy.String() + ")" 
 // distributions are snapshotted once per decision so each candidate K
 // evaluates in O(m·ΣW_i/b) with O(1) CDF lookups.
 func (m *Model) Decide(now stream.Time, snap *profiler.Snapshot) stream.Time {
+	return m.decide(now, snap, m.instantRequirement(snap))
+}
+
+// DecideShared is Decide with the instant requirement Γ′ supplied by the
+// caller instead of derived from this model's own monitor seam. The
+// feedback runtime's per-stage mode uses it: the requirement is derived
+// once, at the root decision scope (whose monitor window sees the final
+// results), and every stage then searches its own k* against that shared
+// target. Deriving Γ′ per stage would divide the root-produced result count
+// by stage-local true-size estimates — incoherent for middle stages, whose
+// intermediate result sizes dwarf the final output's.
+func (m *Model) DecideShared(now stream.Time, snap *profiler.Snapshot, gammaPrime float64) stream.Time {
+	return m.decide(now, snap, gammaPrime)
+}
+
+func (m *Model) decide(now stream.Time, snap *profiler.Snapshot, gammaPrime float64) stream.Time {
 	start := time.Now()
 	maxDH := m.stats.MaxDelayRecent()
-	gammaPrime := m.instantRequirement(snap)
 	m.lastGammaP = gammaPrime
 	ev := m.newEvaluator()
 
@@ -263,7 +309,7 @@ func (m *Model) newEvaluator() *evaluator {
 	n := len(m.windows)
 	ev := &evaluator{m: m, cum: make([][]float64, n), ksync: make([]stream.Time, n)}
 	for i := 0; i < n; i++ {
-		ev.cum[i] = m.stats.Hist(i).CumulativeProbs()
+		ev.cum[i] = m.stats.CDF(i)
 		ev.ksync[i] = m.stats.KSync(i)
 	}
 	for i := 0; i < n; i++ {

@@ -1,9 +1,10 @@
 // Package core wires the quality-driven disorder handling framework of
 // Fig. 2: one K-slack component per input stream, a Synchronizer merging
-// their outputs, the MSWJ operator, and the feedback loop formed by the
-// Statistics Manager, the Tuple-Productivity Profiler, the Result-Size
-// Monitor and the Buffer-Size Manager, which re-decides the common buffer
-// size K every L time units.
+// their outputs, the MSWJ operator, and the feedback loop — extracted into
+// internal/feedback — that re-decides the common buffer size K every L time
+// units. The pipeline is a thin client of the loop: it feeds arrivals,
+// productivity records and result counts in, and applies the loop's single
+// global Same-K decision to its K-slack buffers at every interval boundary.
 //
 // The pipeline is push-based and driven entirely by logical time (tuple
 // timestamps), so runs are deterministic and replay far faster than real
@@ -13,10 +14,10 @@ package core
 
 import (
 	"repro/internal/adapt"
+	"repro/internal/feedback"
 	"repro/internal/join"
 	"repro/internal/kslack"
 	"repro/internal/monitor"
-	"repro/internal/profiler"
 	"repro/internal/shard"
 	"repro/internal/stats"
 	"repro/internal/stream"
@@ -36,8 +37,10 @@ type Sharding struct {
 	QueueDepth int
 }
 
-// PolicyFactory builds the buffer-size policy once the pipeline has created
-// the shared statistics components.
+// PolicyFactory builds the buffer-size policy once the feedback loop has
+// created the shared statistics components. (This is the historical core
+// signature; internal/feedback defines the scope-aware generalization, and
+// the pipeline adapts between the two.)
 type PolicyFactory func(st *stats.Manager, mon *monitor.Monitor, cfg adapt.Config, windows []stream.Time) adapt.Policy
 
 // ModelPolicy returns the paper's model-based quality-driven policy.
@@ -107,32 +110,22 @@ type Config struct {
 
 // Pipeline is the assembled framework.
 type Pipeline struct {
-	cfg    Config
-	m      int
-	stats  *stats.Manager
-	prof   *profiler.Profiler
-	mon    *monitor.Monitor
-	ks     []*kslack.Buffer
-	sync   *syncer.Synchronizer
-	op     *join.Operator // nil on the sharded path
-	policy adapt.Policy
-	model  *adapt.Model // non-nil when policy is the model policy
+	cfg   Config
+	m     int
+	loop  *feedback.Loop
+	ks    []*kslack.Buffer
+	sync  *syncer.Synchronizer
+	op    *join.Operator // nil on the sharded path
+	model *adapt.Model   // non-nil when the policy is the model policy
 
-	// Sharded path (Config.Sharding.Shards > 1): the runtime replaces op,
-	// the feeder moves stats.Observe off the ingest thread, and maxTS
-	// tracks the logical now (== stats.GlobalT) without consulting the
-	// asynchronous Statistics Manager.
-	rt     *shard.Runtime
-	feeder *statsFeeder
-	maxTS  stream.Time
+	// Sharded path (Config.Sharding.Shards > 1): the runtime replaces op
+	// and the loop runs its Statistics Manager asynchronously, barriered
+	// before every decision.
+	rt *shard.Runtime
 
-	started   bool
-	finished  bool
-	nextAdapt stream.Time
-	curK      stream.Time
+	finished bool
+	curK     stream.Time
 
-	sumK    float64
-	nAdapt  int64
 	results int64
 	pushed  int64
 }
@@ -149,23 +142,33 @@ func New(cfg Config) *Pipeline {
 	m := len(cfg.Windows)
 
 	p := &Pipeline{cfg: cfg, m: m, curK: cfg.InitialK}
-	p.stats = stats.NewManager(m, cfg.Adapt.G, cfg.StatsOpts...)
-	p.prof = profiler.New(cfg.Adapt.G)
-	intervals := int((cfg.Adapt.P - cfg.Adapt.L) / cfg.Adapt.L)
-	p.mon = monitor.New(cfg.Adapt.P-cfg.Adapt.L, intervals)
+	pf := cfg.Policy
+	p.loop = feedback.New(feedback.Config{
+		Windows: cfg.Windows,
+		Adapt:   cfg.Adapt,
+		Policy: func(env feedback.Env) adapt.Policy {
+			return pf(env.Stats, env.Monitor, env.Adapt, env.Windows)
+		},
+		StatsOpts:  cfg.StatsOpts,
+		InitialK:   cfg.InitialK,
+		Async:      cfg.Sharding.Shards > 1,
+		AsyncBatch: cfg.Sharding.BatchSize,
+	})
+	p.model = p.loop.Model(0)
 
 	if cfg.Sharding.Shards > 1 {
 		p.rt = shard.New(shard.Config{
-			N:            cfg.Sharding.Shards,
-			Cond:         cfg.Cond,
-			Windows:      cfg.Windows,
-			Materialize:  cfg.Emit != nil,
-			BatchSize:    cfg.Sharding.BatchSize,
-			QueueDepth:   cfg.Sharding.QueueDepth,
-			OnOutOfOrder: p.prof.RecordOutOfOrder,
+			N:           cfg.Sharding.Shards,
+			Cond:        cfg.Cond,
+			Windows:     cfg.Windows,
+			Materialize: cfg.Emit != nil,
+			BatchSize:   cfg.Sharding.BatchSize,
+			QueueDepth:  cfg.Sharding.QueueDepth,
+			OnOutOfOrder: func(delay stream.Time) {
+				p.loop.RecordOutOfOrder(0, delay)
+			},
 		})
 		p.sync = syncer.New(m, p.rt.Route)
-		p.feeder = newStatsFeeder(p.stats.Observe, cfg.Sharding.BatchSize)
 	} else {
 		opts := []join.Option{
 			join.WithProcessedHook(p.onProcessed),
@@ -181,18 +184,14 @@ func New(cfg Config) *Pipeline {
 	for i := range p.ks {
 		p.ks[i] = kslack.New(cfg.InitialK, p.sync.Push)
 	}
-	p.policy = cfg.Policy(p.stats, p.mon, cfg.Adapt, cfg.Windows)
-	if mdl, ok := p.policy.(*adapt.Model); ok {
-		p.model = mdl
-	}
 	return p
 }
 
-// onResultCount feeds per-arrival result counts to the Result-Size Monitor
-// and the caller's optional count sink.
+// onResultCount feeds per-arrival result counts to the loop's Result-Size
+// Monitor and the caller's optional count sink.
 func (p *Pipeline) onResultCount(ts stream.Time, n int64) {
 	p.results += n
-	p.mon.AddResults(ts, n)
+	p.loop.ObserveResult(ts, n)
 	if p.cfg.EmitCounts != nil {
 		p.cfg.EmitCounts(ts, n)
 	}
@@ -201,9 +200,9 @@ func (p *Pipeline) onResultCount(ts stream.Time, n int64) {
 // onProcessed is the join operator's productivity hook (line 11, Alg. 2).
 func (p *Pipeline) onProcessed(e *stream.Tuple, nCross, nOn int64, inOrder bool) {
 	if inOrder {
-		p.prof.RecordInOrder(e.Delay, nCross, nOn)
+		p.loop.RecordInOrder(0, e.Delay, nCross, nOn)
 	} else {
-		p.prof.RecordOutOfOrder(e.Delay)
+		p.loop.RecordOutOfOrder(0, e.Delay)
 	}
 }
 
@@ -216,35 +215,10 @@ func (p *Pipeline) Push(e *stream.Tuple) {
 		panic("core: Push on a finished pipeline — Finish flushed the buffers and a run cannot be restarted; build a new Pipeline")
 	}
 	p.pushed++
-	var now stream.Time
-	if p.rt != nil {
-		// Sharded path: stats updates are asynchronous; the logical now
-		// (max timestamp seen, == stats.GlobalT) is tracked inline.
-		p.feeder.add(e)
-		if e.TS > p.maxTS {
-			p.maxTS = e.TS
-		}
-		now = p.maxTS
-	} else {
-		p.stats.Observe(e)
-		now = p.stats.GlobalT()
-	}
+	now := p.loop.Observe(e)
 	p.ks[e.Src].Push(e)
-	if !p.started {
-		p.started = true
-		p.nextAdapt = now + p.cfg.Adapt.L
-		return
-	}
-	if now >= p.nextAdapt {
-		// A sparse arrival may cross several interval boundaries at once.
-		// Run ONE decision, anchored at the last crossed boundary, instead
-		// of re-deciding per boundary: the first step consumes (and resets)
-		// the profiler snapshot, so the repeats would decide on empty
-		// statistics and push zero true-size estimates into the monitor
-		// ring, depressing TrueEstimate() and distorting Γ′.
-		at := p.nextAdapt + p.cfg.Adapt.L*((now-p.nextAdapt)/p.cfg.Adapt.L)
+	if at, ok := p.loop.Boundary(now); ok {
 		p.adaptStep(at)
-		p.nextAdapt = at + p.cfg.Adapt.L
 	}
 }
 
@@ -262,26 +236,18 @@ func (p *Pipeline) adaptStep(at stream.Time) {
 		// result streams replay into the profiler/monitor in deterministic
 		// arrival order — the same sequence a single-shard operator would
 		// have fed them.
-		p.feeder.sync()
+		p.loop.Sync()
 		outT = p.rt.Watermark()
 		p.rt.FlushInterval(p.replayTuple, p.cfg.Emit)
 	} else {
 		outT = p.op.HighWatermark()
 	}
-	p.mon.Advance(outT)
-	snap := p.prof.Snapshot()
-	// Reset before applying the new K: tuples released eagerly by a K
-	// shrink below are accounted to the next interval.
-	p.prof.Reset()
 	prevK := p.curK
-	newK := p.policy.Decide(at, snap)
+	newK := p.loop.DecideAt(at, outT)[0]
 	for _, k := range p.ks {
 		k.SetK(newK)
 	}
 	p.curK = newK
-	p.sumK += float64(newK)
-	p.nAdapt++
-	p.mon.PushTrueEstimate(float64(snap.TrueResults()))
 	if p.cfg.OnAdapt != nil {
 		ev := AdaptEvent{Now: at, OutT: outT, PrevK: prevK, NewK: newK}
 		if p.model != nil {
@@ -295,7 +261,7 @@ func (p *Pipeline) adaptStep(at stream.Time) {
 // one merged in-order tuple’s productivity record and result count into
 // the feedback loop, exactly as the single-shard operator hooks would.
 func (p *Pipeline) replayTuple(ts, delay stream.Time, nCross, nOn int64) {
-	p.prof.RecordInOrder(delay, nCross, nOn)
+	p.loop.RecordInOrder(0, delay, nCross, nOn)
 	if nOn > 0 {
 		p.onResultCount(ts, nOn)
 	}
@@ -317,7 +283,7 @@ func (p *Pipeline) Finish() {
 		p.sync.Close(i)
 	}
 	if p.rt != nil {
-		p.feeder.close()
+		p.loop.Close()
 		p.rt.FlushInterval(p.replayTuple, p.cfg.Emit)
 		p.rt.Close()
 	}
@@ -334,18 +300,16 @@ func (p *Pipeline) CurrentK() stream.Time { return p.curK }
 
 // AvgK returns the average buffer size over all adaptation intervals, the
 // paper's result-latency metric.
-func (p *Pipeline) AvgK() float64 {
-	if p.nAdapt == 0 {
-		return float64(p.curK)
-	}
-	return p.sumK / float64(p.nAdapt)
-}
+func (p *Pipeline) AvgK() float64 { return p.loop.AvgK(0) }
 
 // Adaptations returns the number of adaptation steps performed.
-func (p *Pipeline) Adaptations() int64 { return p.nAdapt }
+func (p *Pipeline) Adaptations() int64 { return p.loop.Decisions() }
 
 // Stats exposes the Statistics Manager (read-only use by callers).
-func (p *Pipeline) Stats() *stats.Manager { return p.stats }
+func (p *Pipeline) Stats() *stats.Manager { return p.loop.Stats() }
+
+// Loop exposes the extracted feedback runtime (read-only use by tests).
+func (p *Pipeline) Loop() *feedback.Loop { return p.loop }
 
 // Model returns the model policy when in use, else nil. It exposes the
 // Fig. 11 adaptation-time instrumentation.
@@ -360,7 +324,7 @@ func (p *Pipeline) Operator() *join.Operator { return p.op }
 // before the first Push; the shard runtime enforces this.
 func (p *Pipeline) SetEmit(f join.EmitFunc) {
 	if p.rt != nil {
-		if p.started {
+		if p.pushed > 0 {
 			// The shard runtime guards its own start, but a pushed tuple can
 			// still sit in K-slack/Synchronizer without having reached the
 			// shards; any Push means count-only results may already exist.

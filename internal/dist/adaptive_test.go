@@ -1,0 +1,180 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/adapt"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/join"
+	"repro/internal/oracle"
+	"repro/internal/stream"
+)
+
+// adaptWorkload builds a seeded disordered 3-stream equi workload. delayMax
+// gives each stream's maximum injected delay, so asymmetric disorder
+// profiles are one slice away.
+func adaptWorkload(seed int64, n int, delayMax [3]stream.Time) (stream.Batch, []stream.Time) {
+	w := 2 * stream.Second
+	return gen.SparseEqui3(n, seed, 300, delayMax), []stream.Time{w, w, w}
+}
+
+// runAdaptiveTree drives one adaptive synchronous tree over the workload.
+func runAdaptiveTree(t *testing.T, in stream.Batch, windows []stream.Time, cfg AdaptiveConfig) *AdaptiveTree {
+	t.Helper()
+	at := NewAdaptiveTree(join.EquiChain(3, 0), windows, cfg, nil)
+	for _, e := range in.Clone() {
+		at.Push(e)
+	}
+	at.Finish()
+	return at
+}
+
+var testAdapt = adapt.Config{Gamma: 0.9, P: 10 * stream.Second, L: stream.Second}
+
+// TestTreeAdaptationMeetsRecallTarget: with Same-K adaptation enabled, the
+// tree on a disordered 3-way workload meets the configured recall target
+// within tolerance, matching the single-operator pipeline's recall on the
+// same input.
+func TestTreeAdaptationMeetsRecallTarget(t *testing.T) {
+	in, windows := adaptWorkload(3, 6000, [3]stream.Time{2500, 2500, 2500})
+	cond := join.EquiChain(3, 0)
+	truth := oracle.TrueResults(cond, windows, in).Total()
+	if truth == 0 {
+		t.Fatal("degenerate workload: no true results")
+	}
+
+	at := runAdaptiveTree(t, in, windows, AdaptiveConfig{Adapt: testAdapt})
+	treeRecall := float64(at.Results()) / float64(truth)
+
+	p := core.New(core.Config{Windows: windows, Cond: join.EquiChain(3, 0), Adapt: testAdapt})
+	p.Run(in.Clone())
+	pipeRecall := float64(p.Results()) / float64(truth)
+
+	t.Logf("truth=%d tree=%d (recall %.4f, avgK %.0fms) pipeline=%d (recall %.4f, avgK %.0fms)",
+		truth, at.Results(), treeRecall, at.Loop().AvgK(0), p.Results(), pipeRecall, p.AvgK())
+	const tol = 0.02
+	if treeRecall < testAdapt.Gamma-tol {
+		t.Errorf("tree recall %.4f misses target Γ=%.2f (tol %.2f)", treeRecall, testAdapt.Gamma, tol)
+	}
+	if treeRecall < pipeRecall-0.05 {
+		t.Errorf("tree recall %.4f far below single-operator pipeline's %.4f", treeRecall, pipeRecall)
+	}
+	if at.Loop().Decisions() == 0 {
+		t.Error("no adaptation steps ran")
+	}
+}
+
+// TestPerStageKDivergesOnAsymmetricDelays: with asymmetric per-stream
+// disorder (streams 0 and 1 nearly ordered, stream 2 heavily delayed), the
+// per-stage policy decides a much smaller K for stage 0 than for stage 1,
+// pays a strictly smaller total buffered delay than Same-K, and still meets
+// the recall target.
+func TestPerStageKDivergesOnAsymmetricDelays(t *testing.T) {
+	in, windows := adaptWorkload(5, 6000, [3]stream.Time{120, 120, 3000})
+	cond := join.EquiChain(3, 0)
+	truth := oracle.TrueResults(cond, windows, in).Total()
+	if truth == 0 {
+		t.Fatal("degenerate workload: no true results")
+	}
+
+	same := runAdaptiveTree(t, in, windows, AdaptiveConfig{Adapt: testAdapt})
+	per := runAdaptiveTree(t, in, windows, AdaptiveConfig{Adapt: testAdapt, PerStage: true})
+
+	sameRecall := float64(same.Results()) / float64(truth)
+	perRecall := float64(per.Results()) / float64(truth)
+	t.Logf("same-K:    recall %.4f, buffered-delay sum %.0f, avgK %.0fms",
+		sameRecall, same.BufferedDelaySum(), same.Loop().AvgK(0))
+	t.Logf("per-stage: recall %.4f, buffered-delay sum %.0f, avgK0 %.0fms avgK1 %.0fms",
+		perRecall, per.BufferedDelaySum(), per.Loop().AvgK(0), per.Loop().AvgK(1))
+
+	if n := per.Loop().Scopes(); n != 2 {
+		t.Fatalf("expected 2 decision scopes, got %d", n)
+	}
+	k0, k1 := per.Loop().AvgK(0), per.Loop().AvgK(1)
+	if !(k0 < k1/2) {
+		t.Errorf("per-stage K did not diverge on asymmetric delays: avgK0=%.0f avgK1=%.0f", k0, k1)
+	}
+	if !(per.BufferedDelaySum() < same.BufferedDelaySum()) {
+		t.Errorf("per-stage buffered-delay sum %.0f not strictly below Same-K's %.0f",
+			per.BufferedDelaySum(), same.BufferedDelaySum())
+	}
+	const tol = 0.02
+	if perRecall < testAdapt.Gamma-tol {
+		t.Errorf("per-stage recall %.4f misses target Γ=%.2f (tol %.2f)", perRecall, testAdapt.Gamma, tol)
+	}
+}
+
+// TestAdaptivePipelinedProducesSaneResults: the pipelined adaptive driver
+// (best-effort decision timing) still produces a recall near the target and
+// takes decisions.
+func TestAdaptivePipelinedProducesSaneResults(t *testing.T) {
+	in, windows := adaptWorkload(7, 4000, [3]stream.Time{2000, 2000, 2000})
+	cond := join.EquiChain(3, 0)
+	truth := oracle.TrueResults(cond, windows, in).Total()
+
+	ap := NewAdaptivePipelined(join.EquiChain(3, 0), windows, AdaptiveConfig{Adapt: testAdapt, PerStage: true}, 256)
+	var got int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range ap.Results() {
+			got++
+		}
+	}()
+	for _, e := range in.Clone() {
+		ap.Push(e)
+	}
+	ap.Close()
+	<-done
+	ap.Wait()
+
+	recall := float64(got) / float64(truth)
+	t.Logf("pipelined per-stage: truth=%d got=%d recall=%.4f decisions=%d", truth, got, recall, ap.Loop().Decisions())
+	if recall < testAdapt.Gamma-0.05 {
+		t.Errorf("pipelined adaptive recall %.4f far below target %.2f", recall, testAdapt.Gamma)
+	}
+	if ap.Loop().Decisions() == 0 {
+		t.Error("no adaptation steps ran")
+	}
+	if ap.BufferedDelaySum() <= 0 {
+		t.Error("buffered-delay sum not tracked")
+	}
+}
+
+// TestTreeLifecyclePanics: Push-after-Finish and double-Finish panic on the
+// synchronous tree; Push-after-Close and double-Close panic on the
+// pipelined one (DESIGN.md §3 lifecycle conventions, matching Join).
+func TestTreeLifecyclePanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	w := []stream.Time{stream.Second, stream.Second}
+
+	tr := NewTree(join.EquiChain(2, 0), w, 0, nil)
+	tr.Push(&stream.Tuple{TS: 1, Src: 0, Attrs: []float64{1}})
+	tr.Finish()
+	mustPanic("Tree.Push after Finish", func() {
+		tr.Push(&stream.Tuple{TS: 2, Src: 1, Attrs: []float64{1}})
+	})
+	mustPanic("Tree.Finish twice", tr.Finish)
+
+	p := NewPipelined(join.EquiChain(2, 0), w, 0, 16)
+	go func() {
+		for range p.Results() {
+		}
+	}()
+	p.Push(&stream.Tuple{TS: 1, Src: 0, Attrs: []float64{1}})
+	p.Close()
+	p.Wait()
+	mustPanic("Pipelined.Push after Close", func() {
+		p.Push(&stream.Tuple{TS: 2, Src: 1, Attrs: []float64{1}})
+	})
+	mustPanic("Pipelined.Close twice", p.Close)
+}

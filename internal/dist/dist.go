@@ -43,8 +43,11 @@ type Partial struct {
 	Parts []*stream.Tuple
 }
 
-// event is one unit of stage input: either a raw tuple (right != nil) or a
-// partial from the upstream stage (parts != nil).
+// event is one unit of stage input: a raw tuple (right != nil), a partial
+// from the upstream stage (parts != nil), or a buffer-size control event
+// (setK != nil) that applies per-stage K decisions in-band — the pipelined
+// driver threads K changes through the stage channels so every kslack
+// buffer is only ever touched by its owning stage goroutine.
 type event struct {
 	ts       stream.Time
 	deadline stream.Time // min_i (e_i.ts + W_i) over constituents
@@ -53,7 +56,16 @@ type event struct {
 	key      float64
 	right    *stream.Tuple
 	parts    []*stream.Tuple
+	setK     []stream.Time // per-stage buffer sizes (control event)
 }
+
+// prodHookFunc observes one synchronized stage input: the stage index, the
+// event's timestamp and delay annotation, the stage-local cross size n×(e)
+// (live opposing-window entries) and derived-result count n^on(e) for
+// in-order events, or inOrder=false (no probe) for out-of-order ones. It is
+// the tree's equivalent of the MJoin operator's productivity hook, feeding
+// the per-scope Tuple-Productivity Profilers of the feedback loop.
+type prodHookFunc func(stage int, ts, delay stream.Time, nCross, nOn int64, inOrder bool)
 
 // pairLookup is one equi-predicate between a bound stream and the stage's
 // right stream.
@@ -107,9 +119,10 @@ type stage struct {
 	right  *pwindow
 	assign []*stream.Tuple
 
-	next    func(*event)  // nil on the last stage
-	sink    func(Partial) // last stage only; may be nil
-	results *int64
+	next     func(*event)  // nil on the last stage
+	sink     func(Partial) // last stage only; may be nil
+	results  *int64
+	prodHook prodHookFunc // optional; see prodHookFunc
 }
 
 func eventLess(a, b *event) bool {
@@ -209,9 +222,29 @@ func (s *stage) setLeftKey(ev *event) {
 	}
 }
 
+// applyK applies this stage's entry of a per-stage buffer-size decision to
+// the stage's raw-input K-slack buffer(s). Stage 0's K governs both of its
+// raw inputs (streams 0 and 1): they share one Synchronizer, so within the
+// stage Theorem 1's Same-K argument applies.
+func (s *stage) applyK(ks []stream.Time) {
+	k := ks[s.rightSrc-1]
+	if s.ksLeft != nil {
+		s.ksLeft.SetK(k)
+	}
+	s.ksRight.SetK(k)
+}
+
 // receive accepts one input in arrival order: a raw tuple (routed to this
-// stage's K-slack or forwarded downstream) or an upstream partial.
+// stage's K-slack or forwarded downstream), an upstream partial, or a
+// buffer-size control event (applied here, then forwarded downstream).
 func (s *stage) receive(ev *event) {
+	if ev.setK != nil {
+		s.applyK(ev.setK)
+		if s.next != nil {
+			s.next(ev)
+		}
+		return
+	}
 	if ev.parts != nil {
 		s.setLeftKey(ev)
 		s.syncPush(ev, sideLeft)
@@ -295,16 +328,28 @@ func (s *stage) finish() {
 func (s *stage) process(ev *event) {
 	if ev.ts >= s.onT {
 		s.onT = ev.ts
+		var nCross, nOn int64
 		if ev.right != nil {
 			s.left.expire(ev.ts)
-			s.probeLeft(ev)
+			nCross = int64(s.left.heap.Len())
+			nOn = s.probeLeft(ev)
 			s.right.insert(ev)
 		} else {
 			s.right.expire(ev.ts)
-			s.probeRight(ev)
+			nCross = int64(s.right.heap.Len())
+			nOn = s.probeRight(ev)
 			s.left.insert(ev)
 		}
+		if s.prodHook != nil {
+			// After the expire above, every live opposing entry has
+			// deadline ≥ ev.ts, so heap length is the exact stage-local
+			// cross size n×(e).
+			s.prodHook(s.rightSrc-1, ev.ts, ev.delay, nCross, nOn, true)
+		}
 		return
+	}
+	if s.prodHook != nil {
+		s.prodHook(s.rightSrc-1, ev.ts, ev.delay, 0, 0, false)
 	}
 	// Out-of-order w.r.t. this stage: no probing (lines 9–10 of Alg. 2);
 	// keep the event only while it can still contribute to future results.
@@ -321,28 +366,36 @@ func (s *stage) process(ev *event) {
 	}
 }
 
-// probeLeft joins an arriving right tuple against the buffered partials.
-func (s *stage) probeLeft(ev *event) {
+// probeLeft joins an arriving right tuple against the buffered partials,
+// returning the number of results derived.
+func (s *stage) probeLeft(ev *event) int64 {
+	var n int64
 	for _, cand := range s.candidatesIn(s.left, ev.key) {
 		if cand.deadline < ev.ts {
 			continue // stale entry awaiting expiration (cross-join scan path)
 		}
 		if s.matches(cand, ev.right) {
 			s.emit(cand, ev.right, ev)
+			n++
 		}
 	}
+	return n
 }
 
-// probeRight joins an arriving partial against the buffered right tuples.
-func (s *stage) probeRight(ev *event) {
+// probeRight joins an arriving partial against the buffered right tuples,
+// returning the number of results derived.
+func (s *stage) probeRight(ev *event) int64 {
+	var n int64
 	for _, cand := range s.candidatesIn(s.right, ev.key) {
 		if cand.deadline < ev.ts {
 			continue
 		}
 		if s.matches(ev, cand.right) {
 			s.emit(ev, cand.right, ev)
+			n++
 		}
 	}
+	return n
 }
 
 // candidatesIn selects the window's candidate set for probe key: the hash
@@ -490,8 +543,9 @@ func (w *pwindow) candidates(key float64) []*event {
 
 // Tree is the synchronous left-deep tree driver.
 type Tree struct {
-	stages  []*stage
-	results int64
+	stages   []*stage
+	results  int64
+	finished bool
 }
 
 // NewTree builds the tree for cond over len(windows) streams with the common
@@ -533,8 +587,13 @@ func buildStages(cond *join.Condition, windows []stream.Time, k stream.Time,
 	return stages
 }
 
-// Push feeds one raw arrival.
+// Push feeds one raw arrival. Pushing into a finished tree panics: the
+// flushed stage buffers cannot be restarted, so the tuple would silently
+// miss results.
 func (t *Tree) Push(e *stream.Tuple) {
+	if t.finished {
+		panic("dist: Push on a finished Tree — Finish flushed the stage buffers and a run cannot be restarted; build a new Tree")
+	}
 	t.stages[0].receive(&event{right: e})
 }
 
@@ -548,9 +607,38 @@ func (t *Tree) SetK(k stream.Time) {
 	}
 }
 
+// SetStageK applies stage j's entry of a per-stage buffer-size decision:
+// ks[j] sizes the K-slack buffer of raw stream j+1 (and, for j = 0, of
+// stream 0 as well — stage 0's two raw inputs share one Synchronizer).
+func (t *Tree) SetStageK(ks []stream.Time) {
+	for _, s := range t.stages {
+		s.applyK(ks)
+	}
+}
+
+// Watermark returns the root stage's output progress onT: the logical time
+// up to which final results are complete (modulo disorder beyond the
+// buffers). Result-size accounting anchors here.
+func (t *Tree) Watermark() stream.Time {
+	return t.stages[len(t.stages)-1].onT
+}
+
+// setProdHook installs the per-stage productivity hook; call before the
+// first Push.
+func (t *Tree) setProdHook(f prodHookFunc) {
+	for _, s := range t.stages {
+		s.prodHook = f
+	}
+}
+
 // Finish flushes every buffer stage by stage; afterwards all results have
-// been emitted.
+// been emitted. Finishing twice panics, as does pushing afterwards: the run
+// cannot be restarted.
 func (t *Tree) Finish() {
+	if t.finished {
+		panic("dist: Finish on a finished Tree — the run is already flushed and cannot be restarted; build a new Tree")
+	}
+	t.finished = true
 	for _, s := range t.stages {
 		s.finish()
 	}
@@ -572,6 +660,7 @@ type Pipelined struct {
 	out    chan Partial
 	wg     sync.WaitGroup
 	result int64
+	closed bool
 }
 
 // NewPipelined builds the pipelined tree; buffer sizes the inter-stage
@@ -617,14 +706,41 @@ func NewPipelined(cond *join.Condition, windows []stream.Time, k stream.Time, bu
 	return p
 }
 
-// Push feeds one raw arrival from the single producer goroutine.
+// Push feeds one raw arrival from the single producer goroutine. Pushing
+// after Close panics: the input channel is closed and the stages are
+// flushing, so the tuple would be dropped.
 func (p *Pipelined) Push(e *stream.Tuple) {
+	if p.closed {
+		panic("dist: Push on a closed Pipelined — Close ended the input and the stages are flushing; build a new Pipelined")
+	}
 	p.in <- &event{right: e}
 }
 
+// setProdHook installs the per-stage productivity hook; call before the
+// first Push (the first channel send orders the write before any stage
+// read).
+func (p *Pipelined) setProdHook(f prodHookFunc) {
+	for _, s := range p.stages {
+		s.prodHook = f
+	}
+}
+
+// pushControl threads a per-stage buffer-size decision through the stage
+// chain from the single producer goroutine; each stage applies its own
+// entry in-band and forwards the rest downstream.
+func (p *Pipelined) pushControl(ks []stream.Time) {
+	p.in <- &event{setK: ks}
+}
+
 // Close signals end of input; results keep flowing until the Results channel
-// closes.
-func (p *Pipelined) Close() { close(p.in) }
+// closes. Closing twice panics.
+func (p *Pipelined) Close() {
+	if p.closed {
+		panic("dist: Close on a closed Pipelined — the input has already ended; build a new Pipelined for another run")
+	}
+	p.closed = true
+	close(p.in)
+}
 
 // Results returns the channel of complete results; drain it until it closes.
 func (p *Pipelined) Results() <-chan Partial { return p.out }

@@ -1,4 +1,4 @@
-package core
+package feedback
 
 import (
 	"sync"
@@ -6,13 +6,13 @@ import (
 	"repro/internal/stream"
 )
 
-// statsFeeder moves the Statistics Manager off the ingest thread in
-// sharded runs: Observe touches per-stream delay histograms and ADWIN
+// feeder moves the Statistics Manager off the ingest thread in async
+// (sharded) runs: Observe touches per-stream delay histograms and ADWIN
 // state that nothing on the per-tuple hot path reads — the feedback loop
 // consults them only at adaptation boundaries — so the updates can run on
 // their own goroutine, batched, and merely need to be caught up before
 // each K decision. sync() provides that barrier.
-type statsFeeder struct {
+type feeder struct {
 	ch   chan []*stream.Tuple
 	ack  chan struct{}
 	done chan struct{}
@@ -21,12 +21,12 @@ type statsFeeder struct {
 	size int
 }
 
-// newStatsFeeder starts the feeder goroutine; obs is stats.Manager.Observe.
-func newStatsFeeder(obs func(*stream.Tuple), batch int) *statsFeeder {
+// newFeeder starts the feeder goroutine; obs is stats.Manager.Observe.
+func newFeeder(obs func(*stream.Tuple), batch int) *feeder {
 	if batch <= 0 {
 		batch = 256
 	}
-	f := &statsFeeder{
+	f := &feeder{
 		ch:   make(chan []*stream.Tuple, 64),
 		ack:  make(chan struct{}),
 		done: make(chan struct{}),
@@ -51,19 +51,19 @@ func newStatsFeeder(obs func(*stream.Tuple), batch int) *statsFeeder {
 	return f
 }
 
-func (f *statsFeeder) getBatch() []*stream.Tuple {
+func (f *feeder) getBatch() []*stream.Tuple {
 	return f.pool.Get().([]*stream.Tuple)[:0]
 }
 
 // add enqueues one arrival for observation.
-func (f *statsFeeder) add(e *stream.Tuple) {
+func (f *feeder) add(e *stream.Tuple) {
 	f.pend = append(f.pend, e)
 	if len(f.pend) >= f.size {
 		f.flush()
 	}
 }
 
-func (f *statsFeeder) flush() {
+func (f *feeder) flush() {
 	if len(f.pend) == 0 {
 		return
 	}
@@ -73,14 +73,14 @@ func (f *statsFeeder) flush() {
 
 // sync blocks until every enqueued arrival has been observed; afterwards
 // the Statistics Manager is consistent with the ingest thread.
-func (f *statsFeeder) sync() {
+func (f *feeder) sync() {
 	f.flush()
 	f.ch <- nil
 	<-f.ack
 }
 
 // close drains and stops the feeder goroutine.
-func (f *statsFeeder) close() {
+func (f *feeder) close() {
 	f.flush()
 	close(f.ch)
 	<-f.done

@@ -1,0 +1,102 @@
+package feedback
+
+import (
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+// scopeSource adapts the shared Statistics Manager to one decision scope's
+// adapt.Source: model input i is the merge of the raw streams in groups[i].
+// Singleton groups (the global Same-K scope, a tree stage's raw right input)
+// delegate to the manager unchanged, so a single-scope loop is statistically
+// identical to the pre-extraction pipeline. Multi-stream groups (the left
+// side of a tree stage: the streams bound in the partial results) merge as
+// follows:
+//
+//   - CDF: the count-weighted average of the member CDFs — the delay
+//     distribution of a tuple drawn uniformly from the group's arrivals,
+//     which is exactly what the left input's constituents are.
+//   - KSync: the group minimum. K^sync_i is "free" buffering the model
+//     subtracts from the K a stream still needs; for a composite input the
+//     least-buffered member bounds what all constituents are guaranteed,
+//     so the minimum is the conservative (never recall-overestimating)
+//     choice.
+//   - MaxDelayRecent: the maximum over all member streams of both groups,
+//     bounding the scope's Alg. 3 search exactly as the global MaxD^H
+//     bounds the global search.
+type scopeSource struct {
+	mgr    *stats.Manager
+	groups [][]int
+}
+
+func newScopeSource(mgr *stats.Manager, groups [][]int) *scopeSource {
+	return &scopeSource{mgr: mgr, groups: groups}
+}
+
+// CDF implements adapt.Source.
+func (s *scopeSource) CDF(i int) []float64 {
+	g := s.groups[i]
+	if len(g) == 1 {
+		return s.mgr.CDF(g[0])
+	}
+	var (
+		cdfs    [][]float64
+		weights []int64
+		tot     int64
+		maxLen  int
+	)
+	for _, st := range g {
+		n := s.mgr.Hist(st).Total()
+		if n == 0 {
+			continue
+		}
+		c := s.mgr.CDF(st)
+		cdfs = append(cdfs, c)
+		weights = append(weights, n)
+		tot += n
+		if len(c) > maxLen {
+			maxLen = len(c)
+		}
+	}
+	if tot == 0 || maxLen == 0 {
+		return nil
+	}
+	out := make([]float64, maxLen)
+	for d := 0; d < maxLen; d++ {
+		var v float64
+		for j, c := range cdfs {
+			p := 1.0 // past a CDF's top bucket all its mass is covered
+			if d < len(c) {
+				p = c[d]
+			}
+			v += float64(weights[j]) * p
+		}
+		out[d] = v / float64(tot)
+	}
+	return out
+}
+
+// KSync implements adapt.Source.
+func (s *scopeSource) KSync(i int) stream.Time {
+	g := s.groups[i]
+	min := s.mgr.KSync(g[0])
+	for _, st := range g[1:] {
+		if v := s.mgr.KSync(st); v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// MaxDelayRecent implements adapt.Source.
+func (s *scopeSource) MaxDelayRecent() stream.Time {
+	var max stream.Time
+	for _, g := range s.groups {
+		for _, st := range g {
+			if d := s.mgr.Hist(st).MaxDelay(); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}

@@ -212,3 +212,33 @@ func Synthetic4(cfg SynthConfig) *Dataset {
 		Cond:     join.Star(4, []int{0, 1, 2}, []int{0, 0, 0}),
 	}
 }
+
+// SparseEqui3 builds a sparse-key disordered 3-stream feed for the tree
+// deployment's tests, benchmarks and examples: n logical ticks of 10 ms,
+// one tuple per stream per tick with an equi key drawn from [0, keyDomain),
+// and one tuple in four delayed uniformly up to the stream's delayMax —
+// asymmetric delayMax profiles are what per-stage adaptive K exploits. Low
+// selectivity is deliberate: a tree materializes every intermediate, so it
+// suits sparse joins (dense ones favor the MJoin operator; see the paper's
+// evaluation datasets above for those).
+func SparseEqui3(n int, seed int64, keyDomain int, delayMax [3]stream.Time) stream.Batch {
+	rng := rand.New(rand.NewSource(seed))
+	var in stream.Batch
+	var seq uint64
+	ts := stream.Time(5000)
+	for i := 0; i < n; i++ {
+		ts += 10
+		for src := 0; src < 3; src++ {
+			t := ts
+			if delayMax[src] > 0 && rng.Intn(4) == 0 {
+				t -= stream.Time(rng.Int63n(int64(delayMax[src])))
+			}
+			in = append(in, &stream.Tuple{
+				TS: t, Seq: seq, Src: src,
+				Attrs: []float64{float64(rng.Intn(keyDomain))},
+			})
+			seq++
+		}
+	}
+	return in
+}
