@@ -124,16 +124,21 @@ func parseShards(s string) []int {
 // "operator" entries sweep the sharded MJoin operator (Shards 1 is the
 // classic single-threaded path); mode "tree" entries sweep the binary-tree
 // deployment's adaptation policies (fixed-K at the dataset's max delay,
-// Same-K-adaptive, per-stage-adaptive). RelRecall is the tree run's result
-// count relative to its fixed-K (full-buffering) run; SumBufKSec is the
-// total buffered delay Σ_intervals Σ_buffers K in seconds — the aggregate
-// latency the adaptation paid, which per-stage K exists to shrink.
+// Same-K-adaptive, per-stage-adaptive); mode "plan" entries (schema v4)
+// sweep the deployment planner's shapes on the sparse star workload —
+// flat, broadcast flat shards, and the stage-wise sharded tree — at full
+// buffering, so result counts must be identical across shapes. RelRecall
+// is the tree run's result count relative to its fixed-K (full-buffering)
+// run; SumBufKSec is the total buffered delay Σ_intervals Σ_buffers K in
+// seconds — the aggregate latency the adaptation paid, which per-stage K
+// exists to shrink.
 type benchEntry struct {
 	Dataset        string  `json:"dataset"`
 	Mode           string  `json:"mode"`
 	Shards         int     `json:"shards,omitempty"`
 	Partition      string  `json:"partition,omitempty"`
 	TreeAdapt      string  `json:"tree_adapt,omitempty"`
+	Shape          string  `json:"shape,omitempty"`
 	Tuples         int     `json:"tuples"`
 	Results        int64   `json:"results"`
 	RelRecall      float64 `json:"rel_recall,omitempty"`
@@ -161,7 +166,7 @@ type benchReport struct {
 // JSON report.
 func runBenchJSON(path string, minutes float64, seed int64, shardCounts []int, dss []*exp.Dataset) error {
 	rep := benchReport{
-		Schema:    "qdhj-operator-throughput/3",
+		Schema:    "qdhj-operator-throughput/4",
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -207,6 +212,7 @@ func runBenchJSON(path string, minutes float64, seed int64, shardCounts []int, d
 		}
 	}
 	rep.Entries = append(rep.Entries, benchTree(minutes, seed)...)
+	rep.Entries = append(rep.Entries, benchPlanX4(minutes, seed, shardCounts)...)
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -282,6 +288,90 @@ func benchTree(minutes float64, seed int64) []benchEntry {
 		out = append(out, e)
 		fmt.Fprintf(os.Stderr, "%-22s tree/%-9s %9d tuples  %12.0f tuples/s  recall≈%.4f  ΣK=%.0fs\n",
 			"tree-sparse-x3", c.name, n, e.TuplesPerSec, e.RelRecall, e.SumBufKSec)
+	}
+	return out
+}
+
+// benchPlanX4 sweeps the deployment planner's shapes on a sparse-key
+// disordered 4-way star (schema v4): the flat operator, the broadcast flat
+// shards (the condition has no full key class, so plain WithShards must
+// broadcast the spokes), and the auto-planned stage-wise sharded tree —
+// every binary stage hash-partitioned on its own cross key, no broadcast
+// route. All runs use fixed full buffering (K = max delay), so the result
+// counts must be identical across shapes; the sweep records throughput.
+// The paper's dense x4 is unusable here — a tree materializes every
+// intermediate — hence the sparse workload, exactly as benchTree's.
+func benchPlanX4(minutes float64, seed int64, shardCounts []int) []benchEntry {
+	n := int(minutes * float64(stream.Minute) / 10)
+	arrivals := gen.SparseStar4(n, seed, 500, [4]stream.Time{500, 500, 500, 500})
+	maxD, _ := arrivals.MaxDelay()
+	w := []stream.Time{2 * stream.Second, 2 * stream.Second, 2 * stream.Second, 2 * stream.Second}
+	star := func() *join.Condition { return join.Star(4, []int{0, 1, 2}, []int{0, 0, 0}) }
+	opt := qdhj.Options{Policy: qdhj.StaticSlack, StaticK: maxD}
+
+	type cfg struct {
+		shape  string
+		shards int
+		build  func() (*qdhj.Join, string)
+	}
+	var cfgs []cfg
+	cfgs = append(cfgs, cfg{"flat", 1, func() (*qdhj.Join, string) {
+		return qdhj.NewJoin(star(), w, opt), ""
+	}})
+	for _, nShards := range shardCounts {
+		if nShards <= 1 {
+			continue
+		}
+		nShards := nShards
+		cfgs = append(cfgs,
+			cfg{"shard-broadcast", nShards, func() (*qdhj.Join, string) {
+				c := star()
+				return qdhj.NewJoin(c, w, opt, qdhj.WithShards(nShards)), c.Partition().Mode.String()
+			}},
+			cfg{"stage-sharded", nShards, func() (*qdhj.Join, string) {
+				c := star()
+				p := qdhj.AutoPlan(c, w, qdhj.PlanHints{Shards: nShards})
+				return qdhj.NewJoin(c, w, opt, qdhj.WithPlan(p)), "stage-equi"
+			}})
+	}
+
+	var out []benchEntry
+	var flatResults int64
+	for _, c := range cfgs {
+		in := arrivals.Clone()
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		t0 := time.Now()
+		j, part := c.build()
+		for _, e := range in {
+			j.Push(e)
+		}
+		j.Close()
+		dt := time.Since(t0).Seconds()
+		runtime.ReadMemStats(&m1)
+		e := benchEntry{
+			Dataset:        "star-sparse-x4",
+			Mode:           "plan",
+			Shape:          c.shape,
+			Shards:         c.shards,
+			Partition:      part,
+			Tuples:         len(in),
+			Results:        j.Results(),
+			Seconds:        dt,
+			TuplesPerSec:   float64(len(in)) / dt,
+			AllocsPerTuple: float64(m1.Mallocs-m0.Mallocs) / float64(len(in)),
+			BytesPerTuple:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(len(in)),
+		}
+		if c.shape == "flat" {
+			flatResults = j.Results()
+		} else if j.Results() != flatResults {
+			fmt.Fprintf(os.Stderr, "WARNING: %s/%d produced %d results, flat produced %d — shapes must agree at full buffering\n",
+				c.shape, c.shards, j.Results(), flatResults)
+		}
+		out = append(out, e)
+		fmt.Fprintf(os.Stderr, "%-22s plan/%-15s shards=%d %8d tuples  %12.0f tuples/s  %d results\n",
+			"star-sparse-x4", c.shape, c.shards, len(in), e.TuplesPerSec, e.Results)
 	}
 	return out
 }

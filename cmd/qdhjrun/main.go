@@ -1,16 +1,20 @@
 // Command qdhjrun replays a CSV dataset (see qdhjgen) through the
 // quality-driven disorder handling framework and reports result counts,
-// average buffer size and recall against the oracle. All three deployment
-// shapes are drivable: the single MJoin-style operator (default), the
-// left-deep binary tree (-tree), and the pipelined tree (-pipelined); the
-// tree shapes take the same adaptation flags, plus -perstage for one K per
-// binary stage.
+// average buffer size and recall against the oracle. Every deployment
+// shape is drivable: the single MJoin-style operator (default), the
+// left-deep binary tree (-tree), the pipelined tree (-pipelined), and any
+// planner shape via -plan — including bushy trees and stage-wise sharding.
+// -explain prints the chosen plan graph (shape, shard routes, per-stage K
+// scopes) without running.
 //
 // Usage:
 //
 //	qdhjgen -dataset x3 -minutes 10 -o d.csv
 //	qdhjrun -in d.csv -query x3 -gamma 0.95 -policy model
 //	qdhjrun -in d.csv -query x3 -tree -perstage
+//	qdhjrun -query x4 -shards 4 -explain            # what would auto pick?
+//	qdhjrun -in d.csv -query x4 -plan auto -shards 4
+//	qdhjrun -in d.csv -query x4 -plan '((0 1)x4 2 3)x4'
 package main
 
 import (
@@ -41,8 +45,15 @@ func main() {
 		tree      = flag.Bool("tree", false, "execute as a left-deep binary tree (Sec. V) instead of the single operator")
 		pipelined = flag.Bool("pipelined", false, "execute as the pipelined binary tree (one goroutine per stage)")
 		perStage  = flag.Bool("perstage", false, "with -tree/-pipelined: one adaptive K per binary stage instead of Same-K")
+		shards    = flag.Int("shards", 0, "shard budget: parallel workers for the planner / sharded operator")
+		planSpec  = flag.String("plan", "", "deployment plan spec: auto|flat|shard[:N]|tree|tree-shard[:N] or a shape s-expression like '((0 1)x4 2)x4'")
+		explain   = flag.Bool("explain", false, "print the plan graph (shape, shard routes, per-stage K scopes) and exit; works without -in")
 	)
 	flag.Parse()
+	if *explain {
+		runExplain(*in, *query, *planSpec, *shards)
+		return
+	}
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -52,6 +63,12 @@ func main() {
 	}
 	if *perStage && !*tree && !*pipelined {
 		fatal(fmt.Errorf("-perstage needs -tree or -pipelined"))
+	}
+	if *planSpec != "" && (*tree || *pipelined) {
+		fatal(fmt.Errorf("-plan replaces -tree/-pipelined: express the shape in the spec instead"))
+	}
+	if *shards > 0 && (*tree || *pipelined) {
+		fatal(fmt.Errorf("-shards does not apply to -tree/-pipelined (the Sec. V spine executors are unsharded); use -plan 'tree-shard:%d' for a stage-wise sharded tree", *shards))
 	}
 	f, err := os.Open(*in)
 	if err != nil {
@@ -88,6 +105,15 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "computing oracle ground truth...\n")
 	truth := oracle.TrueResults(ds.Cond, ds.Windows, ds.Arrivals)
+
+	if *planSpec != "" || *shards > 0 && !*tree && !*pipelined {
+		spec := *planSpec
+		if spec == "" {
+			spec = "auto"
+		}
+		runPlanned(ds, truth, acfg, *policy, stream.Time(*staticK*float64(stream.Second)), spec, *shards)
+		return
+	}
 
 	if *tree || *pipelined {
 		runTree(ds, truth, acfg, *policy, stream.Time(*staticK*float64(stream.Second)),
@@ -197,6 +223,96 @@ func runTree(ds *gen.Dataset, truth *oracle.Index, acfg adapt.Config, policy str
 		if adaptations > 0 {
 			fmt.Printf("adaptation:     %d steps\n", adaptations)
 		}
+	}
+}
+
+// runExplain prints the plan graph for a query without running it; the
+// dataset is optional (its arity and windows are used when present, else
+// the query's natural arity with 2 s windows).
+func runExplain(in, query, spec string, shards int) {
+	m := 0
+	windows := []stream.Time(nil)
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			fatal(err)
+		}
+		ds, err := gen.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		m, windows = ds.M, ds.Windows
+	} else {
+		switch query {
+		case "x2":
+			m = 2
+		case "x3":
+			m = 3
+		case "x4":
+			m = 4
+		default:
+			fatal(fmt.Errorf("-explain without -in needs a fixed-arity query (x2|x3|x4), got %q", query))
+		}
+		windows = make([]stream.Time, m)
+		for i := range windows {
+			windows[i] = 2 * stream.Second
+		}
+	}
+	if spec == "" {
+		spec = "auto"
+	}
+	p, err := qdhj.ParsePlan(spec, queryFor(query, m), windows, shards)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(qdhj.Explain(p))
+}
+
+// runPlanned replays the dataset through an explicitly planned deployment
+// (the NewJoin + WithPlan path) and reports recall against the oracle.
+func runPlanned(ds *gen.Dataset, truth *oracle.Index, acfg adapt.Config, policy string,
+	staticK stream.Time, spec string, shards int) {
+	p, err := qdhj.ParsePlan(spec, ds.Cond, ds.Windows, shards)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprint(os.Stderr, qdhj.Explain(p))
+	opt := qdhj.Options{
+		Gamma:    acfg.Gamma,
+		Period:   acfg.P,
+		Interval: acfg.L,
+		Strategy: acfg.Strategy,
+	}
+	switch policy {
+	case "model":
+	case "maxk":
+		opt.Policy = qdhj.MaxSlack
+	case "nok":
+		opt.Policy = qdhj.NoSlack
+	case "static":
+		opt.Policy = qdhj.StaticSlack
+		opt.StaticK = staticK
+	default:
+		fatal(fmt.Errorf("unknown policy %q for planned execution", policy))
+	}
+	j := qdhj.NewJoin(ds.Cond, ds.Windows, opt, qdhj.WithPlan(p))
+	for _, e := range ds.Arrivals.Clone() {
+		j.Push(e)
+	}
+	j.Close()
+
+	recall := 0.0
+	if truth.Total() > 0 {
+		recall = float64(j.Results()) / float64(truth.Total())
+	}
+	fmt.Printf("dataset:        %s (%d tuples, %d streams)\n", ds.Name, len(ds.Arrivals), ds.M)
+	fmt.Printf("execution:      planned (%s), %s  Γ=%g  P=%v  L=%v\n", spec, policy, acfg.Gamma, acfg.P, acfg.L)
+	fmt.Printf("produced:       %d of %d true results (overall recall %.4f)\n",
+		j.Results(), truth.Total(), recall)
+	if ks := j.CurrentKs(); len(ks) > 0 && opt.Policy != qdhj.StaticSlack {
+		fmt.Printf("final Ks:       %v (max %v)\n", ks, j.CurrentK())
+		fmt.Printf("adaptation:     %d steps, avg max-K %.3f s\n", j.Adaptations(), j.AvgK()/1000)
 	}
 }
 

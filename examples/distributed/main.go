@@ -14,8 +14,13 @@
 //     requirement needs: the same quality at roughly half the total
 //     buffered delay.
 //
+// The deployment shape itself belongs to the planner: AutoPlan with a low
+// selectivity hint (this workload's sparse keys) picks the tree, and the
+// Explain output printed first shows the chosen stages and their K decision
+// scopes — the example no longer hard-codes a choice the planner owns.
+//
 // See the top-level README.md for the other deployment shapes and
-// DESIGN.md §8 for the per-stage model.
+// DESIGN.md §8/§9 for the per-stage model and the plan layer.
 package main
 
 import (
@@ -39,6 +44,11 @@ func main() {
 	arrivals, cond, windows := workload()
 	maxDelay, _ := arrivals.MaxDelay()
 	opt := qdhj.Options{Gamma: 0.95, Period: 20 * qdhj.Second, Interval: qdhj.Second}
+
+	// The auto-planner picks this deployment itself: sparse keys (domain
+	// 500 on ~200-tuple windows ⇒ σ ≈ 1/500) make tree intermediates cheap.
+	p := qdhj.AutoPlan(cond, windows, qdhj.PlanHints{Selectivity: 1.0 / 500})
+	fmt.Print(qdhj.Explain(p), "\n")
 
 	run := func(initialK qdhj.Time, opts ...qdhj.TreeOption) *qdhj.TreeJoin {
 		j := qdhj.NewTreeJoin(cond, windows, initialK, nil, opts...)

@@ -1,9 +1,15 @@
-// Sharded: the partition-parallel execution path. One logical 3-way
-// equi-join runs as N key-partitioned shards on N goroutines
-// (qdhj.WithShards), while disorder handling and the quality-driven
-// buffer-size feedback loop stay global — so every shard count produces
-// exactly the same results and the same adaptation trajectory, only
-// faster on multi-core hosts.
+// Sharded: the partition-parallel execution path, chosen by the deployment
+// planner. One logical 3-way equi-join runs as N key-partitioned shards on
+// N goroutines, while disorder handling and the quality-driven buffer-size
+// feedback loop stay global — so every shard count produces exactly the
+// same results and the same adaptation trajectory, only faster on
+// multi-core hosts.
+//
+// The deployment choice belongs to the planner, not the example: AutoPlan
+// sees the full equi key class covering all three streams and picks the
+// sharded flat operator (Explain shows the route); the join then runs that
+// plan. For a condition WITHOUT a full key class the same call would pick
+// stage-wise sharding instead — see examples/distributed.
 //
 // See the top-level README.md for the full API tour and the other
 // deployment shapes.
@@ -22,11 +28,14 @@ import (
 func main() {
 	ds := gen.Synthetic3(gen.SynthConfig{Duration: 2 * stream.Minute, Seed: 12})
 	fmt.Printf("3-way equi join, %d tuples, GOMAXPROCS=%d\n\n", len(ds.Arrivals), runtime.GOMAXPROCS(0))
-	fmt.Printf("%-8s  %-12s  %-12s  %-10s  %s\n", "shards", "results", "avg K (ms)", "adapts", "tuples/s")
 
+	// What does the planner pick for this condition at 4-way parallelism?
+	fmt.Print(qdhj.Explain(qdhj.AutoPlan(ds.Cond, ds.Windows, qdhj.PlanHints{Shards: 4})), "\n")
+
+	fmt.Printf("%-8s  %-12s  %-12s  %-10s  %s\n", "shards", "results", "avg K (ms)", "adapts", "tuples/s")
 	for _, shards := range []int{1, 2, 4, 8} {
-		j := qdhj.NewJoin(ds.Cond, ds.Windows, qdhj.Options{Gamma: 0.95},
-			qdhj.WithShards(shards))
+		p := qdhj.AutoPlan(ds.Cond, ds.Windows, qdhj.PlanHints{Shards: shards})
+		j := qdhj.NewJoin(ds.Cond, ds.Windows, qdhj.Options{Gamma: 0.95}, qdhj.WithPlan(p))
 		in := ds.Arrivals.Clone()
 		t0 := time.Now()
 		for _, e := range in {

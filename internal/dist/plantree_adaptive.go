@@ -1,0 +1,125 @@
+// Adaptive driver for the generalized plan tree: the same feedback runtime
+// that drives AdaptiveTree, with the decision scopes derived from the
+// deployment shape instead of the left-deep spine. Under per-stage
+// adaptation, stage j's scope models the binary join of its two sub-plan
+// inputs, and the shared instant requirement Γ′ composes along root-to-leaf
+// paths: every raw leaf contributes one Γ′^(1/m) factor, charged to the
+// stage whose K-slack buffer governs that leaf. On the spine this charges
+// stage 0 two factors and every other stage one — a refinement of §8's
+// uniform Γ′^(1/n) that extends to shapes where stages govern zero, one or
+// two leaves (DESIGN §9). Stages with no leaf buffer get weight 0: the
+// loop pins their K to 0, since no buffer would apply it — their input
+// jitter is absorbed by the stage Synchronizer instead.
+package dist
+
+import (
+	"repro/internal/feedback"
+	"repro/internal/join"
+	"repro/internal/stream"
+)
+
+// AdaptivePlanTree is the plan-tree executor with the quality-driven
+// feedback loop in the driver seat. Unlike AdaptivePipelined, decisions
+// stay deterministic even with sharded stages: every boundary quiesces the
+// stage workers first (SyncBarrier), so the profilers see exactly the
+// records a single-threaded run would have fed them.
+type AdaptivePlanTree struct {
+	t       *PlanTree
+	loop    *feedback.Loop
+	fr      feedRouter
+	cfg     AdaptiveConfig
+	sumBufK float64
+}
+
+// planScopes builds one decision scope per stage of the built tree, in the
+// tree's post-order (the root scope last, as feedback requires), plus the
+// Γ′ path weights: leaves-governed / m.
+func planScopes(t *PlanTree) (scopes []feedback.Scope, weights []float64) {
+	minWindow := func(streams []int) stream.Time {
+		w := t.windows[streams[0]]
+		for _, st := range streams[1:] {
+			if t.windows[st] < w {
+				w = t.windows[st]
+			}
+		}
+		return w
+	}
+	for _, s := range t.stages {
+		scopes = append(scopes, feedback.Scope{
+			Groups:  [][]int{s.sideStreams[0], s.sideStreams[1]},
+			Windows: []stream.Time{minWindow(s.sideStreams[0]), minWindow(s.sideStreams[1])},
+		})
+		weights = append(weights, float64(len(s.leafBufs))/float64(t.m))
+	}
+	return scopes, weights
+}
+
+// NewAdaptivePlanTree builds the adaptive plan-tree executor. sink
+// (optional) receives every complete result.
+func NewAdaptivePlanTree(cond *join.Condition, windows []stream.Time, shape *Shape, cfg AdaptiveConfig, sink func(Partial)) *AdaptivePlanTree {
+	t := NewPlanTree(cond, windows, shape, cfg.InitialK, sink)
+	fcfg := feedback.Config{
+		Windows:   windows,
+		Adapt:     cfg.Adapt,
+		Policy:    cfg.Policy,
+		StatsOpts: cfg.StatsOpts,
+		InitialK:  cfg.InitialK,
+	}
+	if cfg.PerStage {
+		fcfg.Scopes, fcfg.ScopeWeights = planScopes(t)
+		fcfg.SharedRequirement = true
+	}
+	loop := feedback.New(fcfg)
+	a := &AdaptivePlanTree{
+		t:    t,
+		loop: loop,
+		fr:   feedRouter{loop: loop, perStage: cfg.PerStage, root: len(t.stages) - 1},
+		cfg:  cfg,
+	}
+	t.setProdHook(a.fr.route)
+	return a
+}
+
+// Push feeds one raw arrival and runs any due adaptation step.
+func (a *AdaptivePlanTree) Push(e *stream.Tuple) {
+	now := a.loop.Observe(e)
+	a.t.Push(e)
+	if at, ok := a.loop.Boundary(now); ok {
+		a.t.SyncBarrier()
+		ks := a.loop.DecideAt(at, a.t.Watermark())
+		a.apply(ks)
+		if a.cfg.OnDecide != nil {
+			a.cfg.OnDecide(at, ks)
+		}
+	}
+}
+
+// apply maps the decided Ks onto the leaf buffers and accumulates the
+// buffered-delay sum Σ_intervals Σ_buffers K.
+func (a *AdaptivePlanTree) apply(ks []stream.Time) {
+	if a.cfg.PerStage {
+		a.t.SetStageK(ks)
+		for _, s := range a.t.stages {
+			a.sumBufK += float64(ks[s.id]) * float64(len(s.leafBufs))
+		}
+		return
+	}
+	a.t.SetK(ks[0])
+	a.sumBufK += float64(ks[0]) * float64(a.t.m)
+}
+
+// Finish flushes the tree at end of input.
+func (a *AdaptivePlanTree) Finish() { a.t.Finish() }
+
+// Results returns the number of complete results produced so far.
+func (a *AdaptivePlanTree) Results() int64 { return a.t.Results() }
+
+// Tree returns the underlying executor.
+func (a *AdaptivePlanTree) Tree() *PlanTree { return a.t }
+
+// Loop exposes the feedback runtime (read-only use by callers).
+func (a *AdaptivePlanTree) Loop() *feedback.Loop { return a.loop }
+
+// BufferedDelaySum returns the aggregate buffered delay the run paid; see
+// AdaptiveTree.BufferedDelaySum.
+func (a *AdaptivePlanTree) BufferedDelaySum() float64 { return a.sumBufK }

@@ -115,6 +115,15 @@ type Config struct {
 	// every scope's model (per-stage mode). When false each scope's policy
 	// derives its own requirement — the single-scope behaviour.
 	SharedRequirement bool
+	// ScopeWeights assigns each scope its exponent w_i in the shared-
+	// requirement decomposition: scope i decides against Γ′^w_i, so the
+	// composed recall ∏_i Γ′^w_i meets Γ′ whenever the weights sum to 1.
+	// Nil selects the uniform spine decomposition w_i = 1/n of DESIGN §8. A
+	// zero weight marks a scope that governs no raw-input buffer (an inner
+	// stage of a bushy tree): its decision is skipped and its K pinned to 0,
+	// since no buffer would apply it. Length must match Scopes; only
+	// meaningful under SharedRequirement.
+	ScopeWeights []float64
 	// InitialK is the buffer size reported before the first decision.
 	InitialK stream.Time
 	// Async moves stats.Observe onto a feeder goroutine, batched by
@@ -158,6 +167,9 @@ func New(cfg Config) *Loop {
 	}
 	if len(cfg.Scopes) == 0 {
 		cfg.Scopes = []Scope{GlobalScope(cfg.Windows)}
+	}
+	if cfg.ScopeWeights != nil && len(cfg.ScopeWeights) != len(cfg.Scopes) {
+		panic("feedback: ScopeWeights length must match Scopes")
 	}
 	m := len(cfg.Windows)
 	l := &Loop{cfg: cfg, m: m, root: len(cfg.Scopes) - 1}
@@ -265,18 +277,26 @@ func (l *Loop) DecideAt(at, outT stream.Time) []stream.Time {
 		gp := l.scopes[l.root].model.InstantRequirement(rootSnap)
 		// A final result must survive every stage, and stage losses are
 		// (approximately) independent, so requirements compose
-		// multiplicatively along the spine: each of the n scopes meets the
-		// n-th root of Γ′ and the product meets Γ′. Nearly-ordered stages
-		// reach the tightened target almost for free; deciding every stage
-		// against the raw Γ′ instead would compound to ≈ Γ′ⁿ end to end.
-		per := gp
-		if len(l.scopes) > 1 {
-			per = math.Pow(gp, 1/float64(len(l.scopes)))
-		}
+		// multiplicatively: each scope meets Γ′^w_i and the product meets
+		// Γ′ when Σ w_i = 1. The default is the uniform spine decomposition
+		// w_i = 1/n; plan-built trees pass explicit weights charging each
+		// stage the Γ′^(1/m) factors of the raw leaves its buffers govern
+		// (DESIGN §9). Nearly-ordered stages reach their tightened target
+		// almost for free; deciding every stage against the raw Γ′ instead
+		// would compound to ≈ Γ′ⁿ end to end.
 		for i, sc := range l.scopes {
-			if sc.model != nil {
-				l.ks[i] = sc.model.DecideShared(at, l.snaps[i], per)
-			} else {
+			w := 1 / float64(len(l.scopes))
+			if l.cfg.ScopeWeights != nil {
+				w = l.cfg.ScopeWeights[i]
+			}
+			switch {
+			case w == 0:
+				// No raw buffer applies this scope's K; deciding would only
+				// pollute the AvgK metric with a meaningless search result.
+				l.ks[i] = 0
+			case sc.model != nil:
+				l.ks[i] = sc.model.DecideShared(at, l.snaps[i], math.Pow(gp, w))
+			default:
 				l.ks[i] = sc.policy.Decide(at, l.snaps[i])
 			}
 		}

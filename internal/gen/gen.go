@@ -242,3 +242,39 @@ func SparseEqui3(n int, seed int64, keyDomain int, delayMax [3]stream.Time) stre
 	}
 	return in
 }
+
+// SparseStar4 builds a sparse-key disordered 4-stream star feed — the
+// workload of the stage-wise sharding benchmark and tests. Stream 0 is the
+// star center carrying three key attributes (one per spoke predicate, each
+// drawn from [0, keyDomain)); streams 1–3 are the spokes carrying one. The
+// star condition (join.Star(4, {0,1,2}, {0,0,0})) has NO key class covering
+// all four streams, which is exactly what stage-wise sharding exists for.
+// Delays are injected like SparseEqui3's.
+func SparseStar4(n int, seed int64, keyDomain int, delayMax [4]stream.Time) stream.Batch {
+	rng := rand.New(rand.NewSource(seed))
+	var in stream.Batch
+	var seq uint64
+	ts := stream.Time(5000)
+	for i := 0; i < n; i++ {
+		ts += 10
+		for src := 0; src < 4; src++ {
+			t := ts
+			if delayMax[src] > 0 && rng.Intn(4) == 0 {
+				t -= stream.Time(rng.Int63n(int64(delayMax[src])))
+			}
+			var attrs []float64
+			if src == 0 {
+				attrs = []float64{
+					float64(rng.Intn(keyDomain)),
+					float64(rng.Intn(keyDomain)),
+					float64(rng.Intn(keyDomain)),
+				}
+			} else {
+				attrs = []float64{float64(rng.Intn(keyDomain))}
+			}
+			in = append(in, &stream.Tuple{TS: t, Seq: seq, Src: src, Attrs: attrs})
+			seq++
+		}
+	}
+	return in
+}

@@ -46,6 +46,48 @@ func KeyBits(f float64) (uint64, bool) {
 	return math.Float64bits(f), true
 }
 
+// Mix64 avalanches all 64 bits of canonical key bits (Murmur3/splitmix-style
+// xor-fold/multiply finalizer). Shard routers modulo the result by the shard
+// count; a plain multiplicative mix is not enough there, because
+// small-integer float64 keys are multiples of 2^52, so the product's low
+// bits — which the modulo consumes — would stay constant and every key
+// would land on shard 0.
+func Mix64(bits uint64) uint64 {
+	bits ^= bits >> 33
+	bits *= 0xFF51AFD7ED558CCD
+	bits ^= bits >> 33
+	bits *= 0xC4CEB9FE1A85EC53
+	bits ^= bits >> 33
+	return bits
+}
+
+// RangeCell quantizes a band key to its range cell of the given width, for
+// range-partitioned shard routing. The clamp *saturates* — it must stay
+// monotone in key so that the replication span
+// [RangeCell(key−Δ), RangeCell(key+Δ)] of one tuple always encloses the
+// owner cell of every band partner (a collapse-to-zero clamp would tear
+// pairs straddling the clamp boundary apart). NaN keys can never satisfy a
+// band predicate, so any deterministic cell works; ±Inf saturate like huge
+// finite keys.
+func RangeCell(key, width float64) int64 {
+	v := math.Floor(key / width)
+	switch {
+	case math.IsNaN(v):
+		return 0
+	case v > 1e15:
+		return int64(1e15)
+	case v < -1e15:
+		return -int64(1e15)
+	}
+	return int64(v)
+}
+
+// CellOwner maps a range cell to one of n owners (a non-negative modulo).
+func CellOwner(cell int64, n int) int {
+	m := int64(n)
+	return int(((cell % m) + m) % m)
+}
+
 const hashMinCap = 16
 
 // Hash is an open-addressed hash index from uint64 keys (canonical float

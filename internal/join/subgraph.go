@@ -1,0 +1,186 @@
+package join
+
+// Condition subgraph extraction for the deployment planner: a plan node
+// executing a subset of the input streams (one side of a binary stage, a
+// Flat operator over a stream group) needs the induced sub-condition — the
+// predicates fully contained in the subset — while the stage joining two
+// such nodes needs the *cross* predicates that become bound only once both
+// sides are. Together the induced subgraphs of a plan's nodes and the cross
+// sets of its stages partition the condition's predicates, so every
+// predicate is applied exactly once along any tree shape.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Subgraph returns a fresh, unsealed condition over the same M streams
+// containing exactly the predicates whose referenced streams all lie in
+// streams. Stream indexes are NOT renumbered: a subgraph condition still
+// addresses tuples by their original Src, so plan nodes over arbitrary
+// subsets compose without translation tables. Generic predicates are
+// included only when every stream they list is covered.
+func (c *Condition) Subgraph(streams []int) *Condition {
+	in := make([]bool, c.M)
+	for _, s := range streams {
+		if s < 0 || s >= c.M {
+			panic(fmt.Sprintf("join: Subgraph stream %d outside [0,%d)", s, c.M))
+		}
+		in[s] = true
+	}
+	sub := &Condition{M: c.M}
+	for _, p := range c.Equis {
+		if in[p.LeftStream] && in[p.RightStream] {
+			sub.Equis = append(sub.Equis, p)
+		}
+	}
+	for _, p := range c.Bands {
+		if in[p.LeftStream] && in[p.RightStream] {
+			sub.Bands = append(sub.Bands, p)
+		}
+	}
+	for _, g := range c.Generics {
+		all := true
+		for _, gs := range g.Streams {
+			if !in[gs] {
+				all = false
+				break
+			}
+		}
+		if all {
+			sub.Generics = append(sub.Generics, g)
+		}
+	}
+	return sub
+}
+
+// CrossLink is the set of predicates of a condition that connect two
+// disjoint stream subsets: the predicates a binary plan stage joining the
+// two sides must apply (and the first of which keys the stage's index and
+// shard routing). Generics lists indexes into Condition.Generics of the
+// generic predicates that span both sides (bound at the stage, not below).
+type CrossLink struct {
+	Equis    []EquiPredicate
+	Bands    []BandPredicate
+	Generics []int
+}
+
+// Keyed reports whether the link carries an indexable predicate — the
+// requirement for hash- or range-partitioning the stage across shards.
+func (l CrossLink) Keyed() bool { return len(l.Equis) > 0 || len(l.Bands) > 0 }
+
+// Cross extracts the predicates connecting the disjoint subsets left and
+// right: equi and band predicates with one end in each subset (normalized so
+// LeftStream ∈ left), and generic predicates referencing streams of both
+// sides and nothing outside left ∪ right. Predicates internal to one side,
+// or referencing streams outside both, are excluded — they belong to other
+// plan nodes.
+func (c *Condition) Cross(left, right []int) CrossLink {
+	inL := make([]bool, c.M)
+	inR := make([]bool, c.M)
+	for _, s := range left {
+		inL[s] = true
+	}
+	for _, s := range right {
+		if inL[s] {
+			panic(fmt.Sprintf("join: Cross sides overlap at stream %d", s))
+		}
+		inR[s] = true
+	}
+	var link CrossLink
+	for _, p := range c.Equis {
+		switch {
+		case inL[p.LeftStream] && inR[p.RightStream]:
+			link.Equis = append(link.Equis, p)
+		case inR[p.LeftStream] && inL[p.RightStream]:
+			link.Equis = append(link.Equis, EquiPredicate{
+				LeftStream: p.RightStream, LeftAttr: p.RightAttr,
+				RightStream: p.LeftStream, RightAttr: p.LeftAttr,
+			})
+		}
+	}
+	for _, p := range c.Bands {
+		switch {
+		case inL[p.LeftStream] && inR[p.RightStream]:
+			link.Bands = append(link.Bands, p)
+		case inR[p.LeftStream] && inL[p.RightStream]:
+			link.Bands = append(link.Bands, BandPredicate{
+				LeftStream: p.RightStream, LeftAttr: p.RightAttr,
+				RightStream: p.LeftStream, RightAttr: p.LeftAttr,
+				Eps: p.Eps,
+			})
+		}
+	}
+	for gi, g := range c.Generics {
+		var touchL, touchR, outside bool
+		for _, gs := range g.Streams {
+			switch {
+			case inL[gs]:
+				touchL = true
+			case inR[gs]:
+				touchR = true
+			default:
+				outside = true
+			}
+		}
+		if touchL && touchR && !outside {
+			link.Generics = append(link.Generics, gi)
+		}
+	}
+	return link
+}
+
+// Connected reports whether the induced predicate graph over streams is
+// connected: every pair of covered streams is linked by a chain of equi or
+// band predicates inside the subset. Singletons are connected. The planner
+// uses it to reject bushy splits whose sides would degenerate into windowed
+// cross joins.
+func (c *Condition) Connected(streams []int) bool {
+	if len(streams) <= 1 {
+		return true
+	}
+	pos := make(map[int]int, len(streams))
+	for i, s := range streams {
+		pos[s] = i
+	}
+	parent := make([]int, len(streams))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int) {
+		ia, okA := pos[a]
+		ib, okB := pos[b]
+		if okA && okB {
+			parent[find(ia)] = find(ib)
+		}
+	}
+	for _, p := range c.Equis {
+		union(p.LeftStream, p.RightStream)
+	}
+	for _, p := range c.Bands {
+		union(p.LeftStream, p.RightStream)
+	}
+	root := find(0)
+	for i := 1; i < len(parent); i++ {
+		if find(i) != root {
+			return false
+		}
+	}
+	return true
+}
+
+// SortedStreams returns a sorted copy of streams (the canonical form plan
+// nodes render and compare with).
+func SortedStreams(streams []int) []int {
+	out := append([]int(nil), streams...)
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,98 @@
+package join
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func TestSubgraphInducedPredicates(t *testing.T) {
+	c := Cross(4).
+		Equi(0, 0, 1, 0).
+		Equi(1, 1, 2, 0).
+		Band(2, 1, 3, 1, 5).
+		Where([]int{0, 1}, func([]*stream.Tuple) bool { return true }).
+		Where([]int{1, 2, 3}, func([]*stream.Tuple) bool { return true })
+
+	sub := c.Subgraph([]int{0, 1})
+	if len(sub.Equis) != 1 || sub.Equis[0].LeftStream != 0 || sub.Equis[0].RightStream != 1 {
+		t.Fatalf("subgraph {0,1} equis = %+v, want the 0–1 predicate only", sub.Equis)
+	}
+	if len(sub.Bands) != 0 || len(sub.Generics) != 1 {
+		t.Fatalf("subgraph {0,1}: bands=%d generics=%d, want 0/1", len(sub.Bands), len(sub.Generics))
+	}
+	if sub.M != c.M {
+		t.Fatalf("subgraph must keep M=%d, got %d", c.M, sub.M)
+	}
+
+	// The subgraph is unsealed and mutable even when the source is sealed.
+	c.Seal()
+	sub2 := c.Subgraph([]int{2, 3})
+	sub2.Equi(2, 0, 3, 0)
+	if len(sub2.Equis) != 1 || len(sub2.Bands) != 1 {
+		t.Fatalf("subgraph {2,3} after mutation: equis=%d bands=%d", len(sub2.Equis), len(sub2.Bands))
+	}
+}
+
+func TestCrossLinkNormalizesSides(t *testing.T) {
+	// The 1–2 equi is declared right-to-left; Cross must normalize so
+	// LeftStream lies in the left subset.
+	c := Cross(4).
+		Equi(2, 0, 1, 1). // spans the {0,1} / {2,3} split, declared reversed
+		Band(3, 1, 0, 2, 7).
+		Equi(0, 0, 1, 0). // internal to the left side: excluded
+		Where([]int{1, 2}, func([]*stream.Tuple) bool { return true }).
+		Where([]int{1, 2, 3}, func([]*stream.Tuple) bool { return true })
+
+	link := c.Cross([]int{0, 1}, []int{2, 3})
+	if len(link.Equis) != 1 {
+		t.Fatalf("cross equis = %+v, want 1", link.Equis)
+	}
+	e := link.Equis[0]
+	if e.LeftStream != 1 || e.LeftAttr != 1 || e.RightStream != 2 || e.RightAttr != 0 {
+		t.Fatalf("cross equi not normalized: %+v", e)
+	}
+	if len(link.Bands) != 1 || link.Bands[0].LeftStream != 0 || link.Bands[0].RightStream != 3 {
+		t.Fatalf("cross bands = %+v", link.Bands)
+	}
+	if len(link.Generics) != 2 {
+		t.Fatalf("cross generics = %v, want both spanning predicates", link.Generics)
+	}
+	if !link.Keyed() {
+		t.Fatal("link with equi+band predicates must report Keyed")
+	}
+}
+
+func TestCrossLinkUnkeyed(t *testing.T) {
+	c := Cross(2).Where([]int{0, 1}, func([]*stream.Tuple) bool { return true })
+	link := c.Cross([]int{0}, []int{1})
+	if link.Keyed() {
+		t.Fatal("generic-only link must not report Keyed")
+	}
+	if len(link.Generics) != 1 {
+		t.Fatalf("generics = %v", link.Generics)
+	}
+}
+
+func TestConnected(t *testing.T) {
+	star := Star(4, []int{0, 1, 2}, []int{0, 0, 0})
+	if !star.Connected([]int{0, 1, 2, 3}) {
+		t.Fatal("star is connected over all streams")
+	}
+	if star.Connected([]int{2, 3}) {
+		t.Fatal("star spokes {2,3} share no predicate; must not be connected")
+	}
+	if !star.Connected([]int{0, 2}) {
+		t.Fatal("{center, spoke} is connected")
+	}
+	if !star.Connected([]int{3}) {
+		t.Fatal("singletons are connected")
+	}
+	chain := EquiChain(4, 0)
+	if !chain.Connected([]int{2, 3}) || !chain.Connected([]int{0, 1}) {
+		t.Fatal("chain halves are connected")
+	}
+	if chain.Connected([]int{0, 2}) {
+		t.Fatal("chain {0,2} skips stream 1; not connected")
+	}
+}

@@ -1,0 +1,349 @@
+package plan
+
+// The executor seam: every deployment shape compiles through Build into one
+// Executor interface, so the public API (and the CLI tools) never pick an
+// engine directly. Flat shapes — with or without a Shard wrapper — compile
+// to the core pipeline (which in turn hosts the internal/shard runtime);
+// tree shapes compile to the internal/dist plan-tree engine, static or
+// adaptive. The unsharded left-deep spine additionally has dedicated
+// builders (BuildSpineStatic/BuildSpineAdaptive) returning the Sec. V
+// executors qdhj.NewTreeJoin wraps, so the plan layer is the single
+// graph→executor mapping point.
+
+import (
+	"fmt"
+
+	"repro/internal/adapt"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/feedback"
+	"repro/internal/join"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+// Policy names the buffer-sizing policy, mirroring the public qdhj.Policy.
+type Policy int
+
+// Policies.
+const (
+	PolicyModel Policy = iota
+	PolicyMaxK
+	PolicyNoK
+	PolicyStatic
+)
+
+// ExecConfig assembles an executor from a graph.
+type ExecConfig struct {
+	// Adapt carries Γ, P, L, b, g and the selectivity strategy.
+	Adapt adapt.Config
+	// Policy selects the buffer-sizing policy; PolicyStatic runs tree
+	// shapes without a feedback loop at the fixed StaticK.
+	Policy  Policy
+	StaticK stream.Time
+	// Emit optionally receives every produced result.
+	Emit join.EmitFunc
+	// EmitCounts optionally receives per-arrival result counts. Tree
+	// executors materialize results anyway and report one count per result.
+	EmitCounts join.CountEmitFunc
+	// OnAdapt optionally observes adaptation steps. On tree shapes PrevK
+	// and NewK report the maximum over the per-stage Ks.
+	OnAdapt func(core.AdaptEvent)
+	// BatchSize/QueueDepth tune the flat sharded runtime (0 = default).
+	BatchSize, QueueDepth int
+}
+
+// Executor is the one interface all deployment shapes execute behind.
+type Executor interface {
+	Push(*stream.Tuple)
+	Finish()
+	Results() int64
+	// CurrentKs returns the most recent buffer-size decision, one entry per
+	// decision scope (a single entry on flat shapes).
+	CurrentKs() []stream.Time
+	// AvgK returns the average over adaptation steps of the largest
+	// per-scope K — the latency bound the deployment adds.
+	AvgK() float64
+	Adaptations() int64
+	// SetEmit installs a result callback before the first Push.
+	SetEmit(join.EmitFunc)
+	// Stats exposes the Statistics Manager, or nil on static tree shapes
+	// (which run no feedback loop).
+	Stats() *stats.Manager
+}
+
+// Build compiles the graph into its executor.
+func Build(g *Graph, cfg ExecConfig) Executor {
+	shards := 0
+	flatChild := false
+	switch root := g.Root.(type) {
+	case Flat:
+		flatChild = true
+	case Shard:
+		if _, ok := root.Child.(Flat); ok {
+			flatChild = true
+			shards = root.N
+		}
+	}
+	if flatChild {
+		return buildFlat(g, cfg, shards)
+	}
+	return buildTree(g, cfg)
+}
+
+// buildFlat maps the (possibly sharded) flat shape onto the core pipeline.
+func buildFlat(g *Graph, cfg ExecConfig, shards int) Executor {
+	var pf core.PolicyFactory
+	var initialK stream.Time
+	switch cfg.Policy {
+	case PolicyMaxK:
+		pf = core.MaxKPolicy()
+	case PolicyNoK:
+		pf = core.NoKPolicy()
+	case PolicyStatic:
+		pf = core.StaticPolicy(cfg.StaticK)
+		initialK = cfg.StaticK
+	default:
+		pf = core.ModelPolicy()
+	}
+	p := core.New(core.Config{
+		InitialK:   initialK,
+		Windows:    g.Windows,
+		Cond:       g.Cond,
+		Adapt:      cfg.Adapt,
+		Policy:     pf,
+		Emit:       cfg.Emit,
+		EmitCounts: cfg.EmitCounts,
+		OnAdapt:    cfg.OnAdapt,
+		Sharding:   core.Sharding{Shards: shards, BatchSize: cfg.BatchSize, QueueDepth: cfg.QueueDepth},
+	})
+	return (*flatExec)(p)
+}
+
+// flatExec adapts *core.Pipeline to the Executor interface.
+type flatExec core.Pipeline
+
+func (e *flatExec) p() *core.Pipeline        { return (*core.Pipeline)(e) }
+func (e *flatExec) Push(t *stream.Tuple)     { e.p().Push(t) }
+func (e *flatExec) Finish()                  { e.p().Finish() }
+func (e *flatExec) Results() int64           { return e.p().Results() }
+func (e *flatExec) CurrentKs() []stream.Time { return []stream.Time{e.p().CurrentK()} }
+func (e *flatExec) AvgK() float64            { return e.p().AvgK() }
+func (e *flatExec) Adaptations() int64       { return e.p().Adaptations() }
+func (e *flatExec) SetEmit(f join.EmitFunc)  { e.p().SetEmit(f) }
+func (e *flatExec) Stats() *stats.Manager    { return e.p().Stats() }
+
+// distShape converts the plan nodes into the dist engine's shape
+// description. Flat nodes inside trees are not executable (the planner
+// never emits them there).
+func distShape(n Node) *dist.Shape {
+	switch t := n.(type) {
+	case Leaf:
+		return &dist.Shape{Stream: t.Stream}
+	case Stage:
+		return &dist.Shape{Left: distShape(t.Left), Right: distShape(t.Right)}
+	case Shard:
+		sh := distShape(t.Child)
+		sh.Shards = t.N
+		return sh
+	default:
+		panic(fmt.Sprintf("plan: node %T is not executable inside a tree shape", n))
+	}
+}
+
+// buildTree maps a tree shape onto the dist plan-tree engine.
+func buildTree(g *Graph, cfg ExecConfig) Executor {
+	shape := distShape(g.Root)
+	e := &treeExec{emit: cfg.Emit, counts: cfg.EmitCounts, onAdapt: cfg.OnAdapt}
+	sink := func(p dist.Partial) {
+		if e.emit != nil {
+			e.emit(stream.NewResult(p.Parts))
+		}
+		if e.counts != nil {
+			e.counts(p.TS, 1)
+		}
+	}
+	if cfg.Policy == PolicyStatic {
+		e.t = dist.NewPlanTree(g.Cond, g.Windows, shape, cfg.StaticK, sink)
+		e.staticK = cfg.StaticK
+		return e
+	}
+	var pf feedback.PolicyFactory
+	switch cfg.Policy {
+	case PolicyMaxK:
+		pf = feedback.MaxKPolicy()
+	case PolicyNoK:
+		pf = feedback.NoKPolicy()
+	default:
+		pf = feedback.ModelPolicy()
+	}
+	acfg := dist.AdaptiveConfig{
+		Adapt:    cfg.Adapt,
+		PerStage: true, // plan trees decide one K per stage by construction
+		Policy:   pf,
+	}
+	if cfg.OnAdapt != nil {
+		acfg.OnDecide = e.onDecide
+	}
+	e.at = dist.NewAdaptivePlanTree(g.Cond, g.Windows, shape, acfg, sink)
+	return e
+}
+
+// treeExec adapts the dist plan-tree engine to the Executor interface.
+type treeExec struct {
+	t  *dist.PlanTree
+	at *dist.AdaptivePlanTree
+
+	emit    join.EmitFunc
+	counts  join.CountEmitFunc
+	onAdapt func(core.AdaptEvent)
+	staticK stream.Time
+	prevMax stream.Time
+	pushed  bool
+}
+
+func (e *treeExec) tree() *dist.PlanTree {
+	if e.at != nil {
+		return e.at.Tree()
+	}
+	return e.t
+}
+
+func (e *treeExec) Push(t *stream.Tuple) {
+	e.pushed = true
+	if e.at != nil {
+		e.at.Push(t)
+		return
+	}
+	e.t.Push(t)
+}
+
+func (e *treeExec) Finish() {
+	if e.at != nil {
+		e.at.Finish()
+		return
+	}
+	e.t.Finish()
+}
+
+func (e *treeExec) Results() int64 { return e.tree().Results() }
+
+func (e *treeExec) CurrentKs() []stream.Time {
+	if e.at == nil {
+		return []stream.Time{e.staticK}
+	}
+	return e.at.Loop().Ks()
+}
+
+func (e *treeExec) AvgK() float64 {
+	if e.at == nil {
+		return float64(e.staticK)
+	}
+	loop := e.at.Loop()
+	var max float64
+	for i := 0; i < loop.Scopes(); i++ {
+		if v := loop.AvgK(i); v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+func (e *treeExec) Adaptations() int64 {
+	if e.at == nil {
+		return 0
+	}
+	return e.at.Loop().Decisions()
+}
+
+func (e *treeExec) SetEmit(f join.EmitFunc) {
+	if e.pushed {
+		panic("plan: SetEmit after the tree run has started — results produced so far were not delivered; install the sink before the first Push")
+	}
+	e.emit = f
+}
+
+func (e *treeExec) Stats() *stats.Manager {
+	if e.at == nil {
+		return nil
+	}
+	return e.at.Loop().Stats()
+}
+
+// onDecide adapts per-stage decisions to the flat OnAdapt hook: the K
+// reported is the largest per-stage K, the latency bound of the deployment.
+func (e *treeExec) onDecide(at stream.Time, ks []stream.Time) {
+	var max stream.Time
+	for _, k := range ks {
+		if k > max {
+			max = k
+		}
+	}
+	ev := core.AdaptEvent{Now: at, OutT: e.tree().Watermark(), PrevK: e.prevMax, NewK: max}
+	e.prevMax = max
+	e.onAdapt(ev)
+}
+
+// BufferedDelaySum exposes the tree metric for tools; 0 on static runs.
+func (e *treeExec) BufferedDelaySum() float64 {
+	if e.at == nil {
+		return 0
+	}
+	return e.at.BufferedDelaySum()
+}
+
+// ---- spine builders (the Sec. V executors qdhj.NewTreeJoin wraps) ----
+
+// SpineShape reports whether the graph is the unsharded left-deep spine in
+// natural stream order — the shape the dedicated dist.Tree executors
+// accept.
+func SpineShape(g *Graph) bool {
+	n := g.Root
+	for s := g.Cond.M - 1; s >= 1; s-- {
+		st, ok := n.(Stage)
+		if !ok {
+			return false
+		}
+		r, ok := st.Right.(Leaf)
+		if !ok || r.Stream != s {
+			return false
+		}
+		n = st.Left
+	}
+	l, ok := n.(Leaf)
+	return ok && l.Stream == 0
+}
+
+// BuildSpineStatic compiles an unsharded spine graph into the synchronous
+// fixed-K Sec. V tree.
+func BuildSpineStatic(g *Graph, k stream.Time, sink func(dist.Partial)) *dist.Tree {
+	mustSpine(g)
+	return dist.NewTree(g.Cond, g.Windows, k, sink)
+}
+
+// BuildSpineAdaptive compiles an unsharded spine graph into the adaptive
+// Sec. V tree.
+func BuildSpineAdaptive(g *Graph, cfg dist.AdaptiveConfig, sink func(dist.Partial)) *dist.AdaptiveTree {
+	mustSpine(g)
+	return dist.NewAdaptiveTree(g.Cond, g.Windows, cfg, sink)
+}
+
+// BuildSpinePipelined compiles an unsharded spine graph into the pipelined
+// Sec. V tree (fixed-K).
+func BuildSpinePipelined(g *Graph, k stream.Time, buffer int) *dist.Pipelined {
+	mustSpine(g)
+	return dist.NewPipelined(g.Cond, g.Windows, k, buffer)
+}
+
+// BuildSpinePipelinedAdaptive compiles an unsharded spine graph into the
+// adaptive pipelined Sec. V tree.
+func BuildSpinePipelinedAdaptive(g *Graph, cfg dist.AdaptiveConfig, buffer int) *dist.AdaptivePipelined {
+	mustSpine(g)
+	return dist.NewAdaptivePipelined(g.Cond, g.Windows, cfg, buffer)
+}
+
+func mustSpine(g *Graph) {
+	if !SpineShape(g) {
+		panic("plan: the Sec. V spine executors accept only the unsharded left-deep spine in natural stream order; Build executes general shapes")
+	}
+}

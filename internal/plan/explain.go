@@ -1,0 +1,128 @@
+package plan
+
+// Explain rendering: the human-readable form of a plan graph, showing the
+// shape, every shard node's route (the acceptance check "no broadcast
+// route" reads off this), and — for tree shapes — each stage's decision
+// scope id and Γ′ path weight, matching exactly what the adaptive executor
+// wires (post-order stage ids, leaves-governed/m weights).
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/join"
+)
+
+// Explain renders the graph as an indented tree.
+func (g *Graph) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan over %d streams: %s\n", g.Cond.M, g.Reason)
+	ids := stageIDs(g.Root)
+	g.render(&b, g.Root, "", "", ids)
+	return b.String()
+}
+
+// stageIDs assigns post-order ids to Stage nodes — the same numbering the
+// plan-tree executor and its decision scopes use. Stages are keyed by their
+// covered-streams signature, which is unique within one shape (nodes
+// themselves hold slices and cannot be map keys).
+func stageIDs(root Node) map[string]int {
+	ids := map[string]int{}
+	var walk func(Node)
+	walk = func(n Node) {
+		switch t := n.(type) {
+		case Stage:
+			walk(t.Left)
+			walk(t.Right)
+			ids[streamSet(t.Streams())] = len(ids)
+		case Shard:
+			walk(t.Child)
+		}
+	}
+	walk(root)
+	return ids
+}
+
+// leafChildren counts a stage's direct Leaf children (through Shard
+// wrappers they do not exist — leaves are never sharded), i.e. the raw
+// buffers the stage's K decision governs.
+func leafChildren(s Stage) int {
+	n := 0
+	if _, ok := s.Left.(Leaf); ok {
+		n++
+	}
+	if _, ok := s.Right.(Leaf); ok {
+		n++
+	}
+	return n
+}
+
+func (g *Graph) render(b *strings.Builder, n Node, prefix, branch string, ids map[string]int) {
+	b.WriteString(prefix + branch)
+	childPrefix := prefix
+	if branch != "" {
+		if strings.HasSuffix(branch, "└─ ") {
+			childPrefix += "   "
+		} else {
+			childPrefix += "│  "
+		}
+	}
+	switch t := n.(type) {
+	case Leaf:
+		fmt.Fprintf(b, "leaf S%d (W=%v)\n", t.Stream, g.Windows[t.Stream])
+	case Flat:
+		fmt.Fprintf(b, "flat MJoin over %s\n", streamSet(t.Streams()))
+	case Shard:
+		fmt.Fprintf(b, "shard ×%d route=%s\n", t.N, routeString(t.Route, t.Broadcast()))
+		g.render(b, t.Child, childPrefix, "└─ ", ids)
+	case Stage:
+		fmt.Fprintf(b, "stage %s ⋈ %s  [scope s%d, Γ′^(%d/%d)]\n",
+			streamSet(t.Left.Streams()), streamSet(t.Right.Streams()),
+			ids[streamSet(t.Streams())], leafChildren(t), g.Cond.M)
+		g.render(b, t.Left, childPrefix, "├─ ", ids)
+		g.render(b, t.Right, childPrefix, "└─ ", ids)
+	}
+}
+
+func streamSet(streams []int) string {
+	parts := make([]string, len(streams))
+	for i, s := range streams {
+		parts[i] = fmt.Sprint(s)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// routeString renders one shard route: the per-stream key attributes of an
+// equi or band class, the broadcast fallback otherwise. broadcast marks the
+// uncovered streams of a flat route; a stage route never routes them
+// through this node, so the caller passes Shard.Broadcast().
+func routeString(p join.PartitionScheme, broadcast bool) string {
+	switch p.Mode {
+	case join.PartitionNone:
+		return "broadcast (seq-partitioned stream 0)"
+	case join.PartitionBand:
+		return fmt.Sprintf("band[%s Δ=%g]", keyAttrs(p), p.Delta)
+	default:
+		s := fmt.Sprintf("equi[%s]", keyAttrs(p))
+		if broadcast {
+			var bc []string
+			for st, a := range p.KeyAttr {
+				if a < 0 {
+					bc = append(bc, fmt.Sprintf("S%d", st))
+				}
+			}
+			s += " +broadcast(" + strings.Join(bc, ",") + ")"
+		}
+		return s
+	}
+}
+
+func keyAttrs(p join.PartitionScheme) string {
+	var parts []string
+	for st, a := range p.KeyAttr {
+		if a >= 0 {
+			parts = append(parts, fmt.Sprintf("S%d.a%d", st, a))
+		}
+	}
+	return strings.Join(parts, "↔")
+}

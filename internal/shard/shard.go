@@ -38,7 +38,6 @@
 package shard
 
 import (
-	"math"
 	"sync"
 
 	"repro/internal/index"
@@ -320,47 +319,21 @@ func (rt *Runtime) route(e *stream.Tuple) (probeAll bool, owner int) {
 	}
 }
 
-// hashShard maps canonical key bits (or a sequence number) to a shard. A
-// plain multiplicative mix is not enough here: small-integer float64 keys
-// are multiples of 2^52, so the product's low bits — which the modulo
-// consumes — stay constant and every key lands on shard 0. The
-// xor-fold/multiply finalizer (Murmur3/splitmix style) avalanches all 64
-// bits.
+// hashShard maps canonical key bits (or a sequence number) to a shard via
+// the shared index.Mix64 finalizer (see there for why a full avalanche is
+// required before the modulo).
 func (rt *Runtime) hashShard(bits uint64) int {
-	bits ^= bits >> 33
-	bits *= 0xFF51AFD7ED558CCD
-	bits ^= bits >> 33
-	bits *= 0xC4CEB9FE1A85EC53
-	bits ^= bits >> 33
-	return int(bits % uint64(rt.n))
+	return int(index.Mix64(bits) % uint64(rt.n))
 }
 
-// bandCell quantizes a band key to its range cell. The clamp *saturates*
-// — it must stay monotone in key so that the replication span
-// [bandCell(key−Δ), bandCell(key+Δ)] of one tuple always encloses the
-// owner cell of every band partner (a collapse-to-zero clamp would tear
-// pairs straddling the clamp boundary apart). NaN keys can never satisfy
-// a band predicate, so any deterministic cell works; ±Inf saturate like
-// huge finite keys.
-func (rt *Runtime) bandCell(key float64) int64 {
-	v := math.Floor(key / rt.cell)
-	switch {
-	case math.IsNaN(v):
-		return 0
-	case v > 1e15:
-		return int64(1e15)
-	case v < -1e15:
-		return -int64(1e15)
-	}
-	return int64(v)
-}
+// bandCell quantizes a band key to its range cell; the saturating clamp
+// (see index.RangeCell) is what keeps one tuple's replication span
+// enclosing the owner cell of every band partner.
+func (rt *Runtime) bandCell(key float64) int64 { return index.RangeCell(key, rt.cell) }
 
 func (rt *Runtime) bandShard(key float64) int { return rt.cellShard(rt.bandCell(key)) }
 
-func (rt *Runtime) cellShard(cell int64) int {
-	n := int64(rt.n)
-	return int(((cell % n) + n) % n)
-}
+func (rt *Runtime) cellShard(cell int64) int { return index.CellOwner(cell, rt.n) }
 
 func contains(s []int, v int) bool {
 	for _, x := range s {

@@ -29,6 +29,7 @@ import (
 	"repro/internal/adapt"
 	"repro/internal/core"
 	"repro/internal/join"
+	"repro/internal/plan"
 	"repro/internal/stats"
 	"repro/internal/stream"
 )
@@ -129,10 +130,12 @@ const (
 type JoinOption func(*joinOpts)
 
 type joinOpts struct {
-	emit    join.EmitFunc
-	counts  join.CountEmitFunc
-	onAdapt func(AdaptEvent)
-	shards  int
+	emit     join.EmitFunc
+	counts   join.CountEmitFunc
+	onAdapt  func(AdaptEvent)
+	shards   int
+	plan     *Plan
+	autoPlan bool
 }
 
 // AdaptEvent reports one buffer-size adaptation step.
@@ -180,8 +183,13 @@ func WithShards(n int) JoinOption {
 // Join is an m-way sliding window join with quality-driven disorder
 // handling. It is not safe for concurrent use; feed it from one goroutine or
 // use RunChannel.
+//
+// Every Join executes behind the deployment-plan seam: the classic flat
+// operator by default, the key-partitioned shards under WithShards, or any
+// planned shape — including bushy trees and stage-wise sharding — under
+// WithPlan/WithAutoPlan.
 type Join struct {
-	p *core.Pipeline
+	ex plan.Executor
 	// hasSink records whether a results sink is installed — by WithResults
 	// at construction or by a RunChannel call; RunChannel refuses to
 	// silently replace it.
@@ -198,64 +206,70 @@ func NewJoin(cond *Condition, windows []Time, opt Options, jopts ...JoinOption) 
 	if opt.Gamma == 0 {
 		opt.Gamma = 0.95
 	}
-	acfg := adapt.Config{
-		Gamma:    opt.Gamma,
-		P:        opt.Period,
-		L:        opt.Interval,
-		B:        opt.BasicWindow,
-		G:        opt.Granularity,
-		Strategy: opt.Strategy,
-		Search:   opt.Search,
-	}
-	var pf core.PolicyFactory
-	var initialK Time
-	switch opt.Policy {
-	case MaxSlack:
-		pf = core.MaxKPolicy()
-	case NoSlack:
-		pf = core.NoKPolicy()
-	case StaticSlack:
-		pf = core.StaticPolicy(opt.StaticK)
-		// Apply the static buffer from the first tuple on, not only after
-		// the first adaptation step.
-		initialK = opt.StaticK
-	default:
-		pf = core.ModelPolicy()
-	}
-	cfg := core.Config{
-		InitialK:   initialK,
-		Windows:    windows,
-		Cond:       cond,
-		Adapt:      acfg,
-		Policy:     pf,
+	cfg := plan.ExecConfig{
+		Adapt: adapt.Config{
+			Gamma:    opt.Gamma,
+			P:        opt.Period,
+			L:        opt.Interval,
+			B:        opt.BasicWindow,
+			G:        opt.Granularity,
+			Strategy: opt.Strategy,
+			Search:   opt.Search,
+		},
+		StaticK:    opt.StaticK,
 		Emit:       jo.emit,
 		EmitCounts: jo.counts,
 		OnAdapt:    jo.onAdapt,
-		Sharding:   core.Sharding{Shards: jo.shards},
 	}
-	return &Join{p: core.New(cfg), hasSink: jo.emit != nil}
+	switch opt.Policy {
+	case MaxSlack:
+		cfg.Policy = plan.PolicyMaxK
+	case NoSlack:
+		cfg.Policy = plan.PolicyNoK
+	case StaticSlack:
+		cfg.Policy = plan.PolicyStatic
+	default:
+		cfg.Policy = plan.PolicyModel
+	}
+	return &Join{ex: plan.Build(jo.graphFor(cond, windows), cfg), hasSink: jo.emit != nil}
 }
 
 // Push feeds one arriving tuple. Tuples carry their source stream in
 // Tuple.Src and their application timestamp in Tuple.TS.
-func (j *Join) Push(t *Tuple) { j.p.Push(t) }
+func (j *Join) Push(t *Tuple) { j.ex.Push(t) }
 
 // Close flushes all buffers at end of input. The join must not be pushed to
 // afterwards.
-func (j *Join) Close() { j.p.Finish() }
+func (j *Join) Close() { j.ex.Finish() }
 
 // Results returns the number of join results produced so far.
-func (j *Join) Results() int64 { return j.p.Results() }
+func (j *Join) Results() int64 { return j.ex.Results() }
 
 // CurrentK returns the input-sorting buffer size currently applied; it is
-// the latency bound disorder handling adds to results.
-func (j *Join) CurrentK() Time { return j.p.CurrentK() }
+// the latency bound disorder handling adds to results. On tree-shaped
+// deployments — where every stage decides its own K — it reports the
+// largest per-stage buffer; CurrentKs lists them all.
+func (j *Join) CurrentK() Time {
+	var max Time
+	for _, k := range j.ex.CurrentKs() {
+		if k > max {
+			max = k
+		}
+	}
+	return max
+}
 
-// AvgK returns the average buffer size over all adaptation intervals.
-func (j *Join) AvgK() float64 { return j.p.AvgK() }
+// CurrentKs returns the most recent buffer-size decision, one entry per
+// decision scope: a single entry on flat deployments, one per binary stage
+// on tree-shaped plans. The slice is live; copy to retain.
+func (j *Join) CurrentKs() []Time { return j.ex.CurrentKs() }
+
+// AvgK returns the average buffer size over all adaptation intervals (of
+// the largest per-stage buffer on tree-shaped deployments).
+func (j *Join) AvgK() float64 { return j.ex.AvgK() }
 
 // Adaptations returns how many buffer-size adaptation steps have run.
-func (j *Join) Adaptations() int64 { return j.p.Adaptations() }
+func (j *Join) Adaptations() int64 { return j.ex.Adaptations() }
 
 // RunChannel consumes tuples from in on a dedicated goroutine and delivers
 // results on the returned channel. The channel closes only after the input
@@ -274,17 +288,70 @@ func (j *Join) RunChannel(in <-chan *Tuple) <-chan Result {
 	}
 	j.hasSink = true
 	out := make(chan Result, 256)
-	j.p.SetEmit(func(r Result) { out <- r })
+	j.ex.SetEmit(func(r Result) { out <- r })
 	go func() {
 		defer close(out)
 		for t := range in {
-			j.p.Push(t)
+			j.ex.Push(t)
 		}
-		j.p.Finish()
+		j.ex.Finish()
 	}()
 	return out
 }
 
-// Stats exposes the internal statistics manager for read-only inspection
-// (arrival rates, delay histograms).
-func (j *Join) Stats() *stats.Manager { return j.p.Stats() }
+// Stats exposes the internal statistics manager.
+//
+// Deprecated: Stats leaks the internal *stats.Manager into the public
+// surface (and is nil on static tree-shaped plans, which run no feedback
+// loop). Use Snapshot, which returns a plain read-only copy of the same
+// numbers.
+func (j *Join) Stats() *stats.Manager { return j.ex.Stats() }
+
+// StreamStats is the read-only per-stream view of the Statistics Manager.
+type StreamStats struct {
+	// Rate is the average arrival rate in tuples per millisecond.
+	Rate float64
+	// HistoryLen is the current ADWIN-sized delay-history length R^stat.
+	HistoryLen int
+	// MaxDelayRecent is the largest tuple delay within the recent history.
+	MaxDelayRecent Time
+	// KSync is the Synchronizer's implicit buffer estimate (Prop. 1).
+	KSync Time
+	// LocalT is the stream's local logical clock iT.
+	LocalT Time
+}
+
+// StatsSnapshot is a point-in-time, read-only copy of the join's delay
+// statistics — the public replacement for the deprecated Stats accessor.
+type StatsSnapshot struct {
+	Streams []StreamStats
+	// GlobalT is max_i iT, the framework's logical "now".
+	GlobalT Time
+	// MaxDelayAllTime is the largest delay among all observed tuples.
+	MaxDelayAllTime Time
+}
+
+// Snapshot copies the current delay statistics. On deployments without a
+// feedback loop (a StaticSlack tree plan) the snapshot is zero-valued with
+// Streams nil.
+func (j *Join) Snapshot() StatsSnapshot {
+	m := j.ex.Stats()
+	if m == nil {
+		return StatsSnapshot{}
+	}
+	snap := StatsSnapshot{
+		Streams:         make([]StreamStats, m.M()),
+		GlobalT:         m.GlobalT(),
+		MaxDelayAllTime: m.MaxDelayAllTime(),
+	}
+	for i := range snap.Streams {
+		snap.Streams[i] = StreamStats{
+			Rate:           m.Rate(i),
+			HistoryLen:     m.HistoryLen(i),
+			MaxDelayRecent: m.Hist(i).MaxDelay(),
+			KSync:          m.KSync(i),
+			LocalT:         m.LocalT(i),
+		}
+	}
+	return snap
+}

@@ -1,0 +1,146 @@
+package qdhj
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func star4() *Condition { return Star(4, []int{0, 1, 2}, []int{0, 0, 0}) }
+
+func windows4() []Time { return []Time{Second, Second, Second, Second} }
+
+// TestAutoPlanStarExplain: the public acceptance surface — a star-shaped
+// 4-way condition auto-plans to stage-wise sharding with no broadcast route
+// in the explained plan.
+func TestAutoPlanStarExplain(t *testing.T) {
+	p := AutoPlan(star4(), windows4(), PlanHints{Shards: 4})
+	out := Explain(p)
+	if strings.Contains(out, "broadcast") {
+		t.Fatalf("explained plan contains a broadcast route:\n%s", out)
+	}
+	if !strings.Contains(out, "shard ×4") || !strings.Contains(out, "stage") {
+		t.Fatalf("explained plan is not stage-wise sharded:\n%s", out)
+	}
+	t.Log("\n" + out)
+}
+
+// TestJoinWithPlanDifferential: a Join running the auto-planned star
+// deployment produces the flat Join's result multiset bit-for-bit (full
+// buffering, so disorder is covered).
+func TestJoinWithPlanDifferential(t *testing.T) {
+	in := gen.SparseStar4(1500, 7, 40, [4]Time{800, 800, 800, 800})
+	maxD, _ := in.MaxDelay()
+	opt := Options{Policy: StaticSlack, StaticK: maxD}
+
+	run := func(cond *Condition, jopts ...JoinOption) map[string]int {
+		set := map[string]int{}
+		jopts = append(jopts, WithResults(func(r Result) {
+			var b strings.Builder
+			for _, tp := range r.Tuples {
+				fmt.Fprintf(&b, "%d:%d,", tp.Src, tp.Seq)
+			}
+			set[b.String()]++
+		}))
+		j := NewJoin(cond, windows4(), opt, jopts...)
+		for _, e := range in.Clone() {
+			j.Push(e)
+		}
+		j.Close()
+		return set
+	}
+
+	want := run(star4())
+	if len(want) == 0 {
+		t.Fatal("degenerate workload")
+	}
+	cond := star4()
+	p := AutoPlan(cond, windows4(), PlanHints{Shards: 4})
+	got := run(cond, WithPlan(p))
+	if len(got) != len(want) {
+		t.Fatalf("planned join: %d distinct results, flat %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("planned join diverges at %s: %d vs %d", k, got[k], v)
+		}
+	}
+
+	// WithAutoPlan + WithShards resolves to the same shape.
+	got2 := run(star4(), WithAutoPlan(), WithShards(4))
+	if len(got2) != len(want) {
+		t.Fatalf("auto-planned join: %d distinct results, flat %d", len(got2), len(want))
+	}
+}
+
+// TestJoinTreePlanAdaptive: an adaptive tree-shaped Join exposes per-stage
+// Ks and a sane snapshot through the flat Join API.
+func TestJoinTreePlanAdaptive(t *testing.T) {
+	in := gen.SparseEqui3(4000, 11, 300, [3]Time{150, 150, 2500})
+	cond := EquiChain(3, 0)
+	p, err := ParsePlan("tree-shard:2", cond, []Time{2 * Second, 2 * Second, 2 * Second}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := NewJoin(cond, []Time{2 * Second, 2 * Second, 2 * Second},
+		Options{Gamma: 0.9, Period: 10 * Second, Interval: Second}, WithPlan(p))
+	for _, e := range in {
+		j.Push(e)
+	}
+	j.Close()
+	if j.Results() == 0 {
+		t.Fatal("no results")
+	}
+	if j.Adaptations() == 0 {
+		t.Fatal("no adaptation steps")
+	}
+	if n := len(j.CurrentKs()); n != 2 {
+		t.Fatalf("CurrentKs has %d scopes, want one per stage (2)", n)
+	}
+	if j.CurrentK() < j.CurrentKs()[0] {
+		t.Error("CurrentK must be the max over stage Ks")
+	}
+	snap := j.Snapshot()
+	if len(snap.Streams) != 3 || snap.GlobalT == 0 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap.Streams[2].MaxDelayRecent <= snap.Streams[0].MaxDelayRecent {
+		t.Error("stream 2 is the heavily delayed one; snapshot must show it")
+	}
+}
+
+// TestSnapshotMatchesDeprecatedStats: the read-only snapshot reports the
+// same numbers as the deprecated raw accessor.
+func TestSnapshotMatchesDeprecatedStats(t *testing.T) {
+	in := gen.SparseEqui3(1500, 3, 100, [3]Time{500, 500, 500})
+	j := NewJoin(EquiChain(3, 0), []Time{Second, Second, Second}, Options{})
+	for _, e := range in {
+		j.Push(e)
+	}
+	j.Close()
+	m := j.Stats()
+	snap := j.Snapshot()
+	for i := 0; i < 3; i++ {
+		if snap.Streams[i].Rate != m.Rate(i) || snap.Streams[i].KSync != m.KSync(i) ||
+			snap.Streams[i].HistoryLen != m.HistoryLen(i) || snap.Streams[i].LocalT != m.LocalT(i) {
+			t.Fatalf("stream %d: snapshot %+v disagrees with Stats()", i, snap.Streams[i])
+		}
+	}
+	if snap.GlobalT != m.GlobalT() || snap.MaxDelayAllTime != m.MaxDelayAllTime() {
+		t.Fatalf("snapshot globals disagree: %+v", snap)
+	}
+}
+
+// TestWithPlanMismatchPanics: a plan built for a different condition value
+// must be rejected, not silently miscompiled.
+func TestWithPlanMismatchPanics(t *testing.T) {
+	p := AutoPlan(EquiChain(2, 0), []Time{Second, Second}, PlanHints{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WithPlan with a foreign condition must panic")
+		}
+	}()
+	NewJoin(EquiChain(2, 0), []Time{Second, Second}, Options{}, WithPlan(p))
+}

@@ -4,6 +4,7 @@ import (
 	"repro/internal/adapt"
 	"repro/internal/dist"
 	"repro/internal/feedback"
+	"repro/internal/plan"
 )
 
 // TreeJoin is an m-way join executed as a left-deep tree of binary join
@@ -120,6 +121,10 @@ func (o *treeOpts) adaptiveConfig(initialK Time) dist.AdaptiveConfig {
 // NewTreeJoin creates the binary-tree join with the common buffer size k on
 // every input stream — fixed for the whole run unless a WithTreeAdaptation
 // or WithPerStageK option enables the feedback loop.
+//
+// The deployment shape is the plan layer's left-deep spine; for bushy
+// shapes or stage-wise sharding, plan explicitly and run through
+// NewJoin(..., WithPlan(p)).
 func NewTreeJoin(cond *Condition, windows []Time, k Time, emit func(TreeResult), opts ...TreeOption) *TreeJoin {
 	var o treeOpts
 	for _, op := range opts {
@@ -132,10 +137,11 @@ func NewTreeJoin(cond *Condition, windows []Time, k Time, emit func(TreeResult),
 			emit(TreeResult{TS: p.TS, Delay: p.Delay, Tuples: p.Parts})
 		}
 	}
+	g := plan.Spine(cond, windows)
 	if o.adapt != nil {
-		return &TreeJoin{at: dist.NewAdaptiveTree(cond, windows, o.adaptiveConfig(k), sink)}
+		return &TreeJoin{at: plan.BuildSpineAdaptive(g, o.adaptiveConfig(k), sink)}
 	}
-	return &TreeJoin{t: dist.NewTree(cond, windows, k, sink)}
+	return &TreeJoin{t: plan.BuildSpineStatic(g, k, sink)}
 }
 
 // Push feeds a raw arrival. Pushing into a closed tree panics.
@@ -218,10 +224,11 @@ func NewPipelinedTreeJoin(cond *Condition, windows []Time, k Time, buffer int, o
 		op(&o)
 	}
 	o.validate()
+	g := plan.Spine(cond, windows)
 	if o.adapt != nil {
-		return &PipelinedTreeJoin{ap: dist.NewAdaptivePipelined(cond, windows, o.adaptiveConfig(k), buffer)}
+		return &PipelinedTreeJoin{ap: plan.BuildSpinePipelinedAdaptive(g, o.adaptiveConfig(k), buffer)}
 	}
-	return &PipelinedTreeJoin{p: dist.NewPipelined(cond, windows, k, buffer)}
+	return &PipelinedTreeJoin{p: plan.BuildSpinePipelined(g, k, buffer)}
 }
 
 // Push feeds a raw arrival from the single producer goroutine. Pushing
