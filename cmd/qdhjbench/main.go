@@ -132,6 +132,18 @@ func parseShards(s string) []int {
 // run; SumBufKSec is the total buffered delay Σ_intervals Σ_buffers K in
 // seconds — the aggregate latency the adaptation paid, which per-stage K
 // exists to shrink.
+// Mode "fault" entries (schema v4) sweep the fault-tolerant runtime:
+// FaultOp "checkpoint-overhead" runs supervised — arrival logging, gated
+// delivery, automatic boundary checkpoints at the default cadence — on the
+// same feed as a bare executor. CkptOverhead is the fraction of the
+// supervised run's wall time spent inside checkpoint captures (measured
+// directly, so it is robust to machine noise); SupOverhead is the whole
+// supervised-vs-bare throughput ratio minus one (best run of five each,
+// interleaved — still a difference of two wall times, so read it with the
+// usual single-machine error bars); Checkpoints counts the captures.
+// FaultOp "recovery" injects deterministic worker panics and records the
+// restarts and the wall time spent inside checkpoint-restore-replay
+// recoveries.
 type benchEntry struct {
 	Dataset        string  `json:"dataset"`
 	Mode           string  `json:"mode"`
@@ -139,10 +151,16 @@ type benchEntry struct {
 	Partition      string  `json:"partition,omitempty"`
 	TreeAdapt      string  `json:"tree_adapt,omitempty"`
 	Shape          string  `json:"shape,omitempty"`
+	FaultOp        string  `json:"fault_op,omitempty"`
 	Tuples         int     `json:"tuples"`
 	Results        int64   `json:"results"`
 	RelRecall      float64 `json:"rel_recall,omitempty"`
 	SumBufKSec     float64 `json:"sum_buf_k_sec,omitempty"`
+	Checkpoints    int64   `json:"checkpoints,omitempty"`
+	CkptOverhead   float64 `json:"ckpt_overhead,omitempty"`
+	SupOverhead    float64 `json:"sup_overhead,omitempty"`
+	Restarts       int     `json:"restarts,omitempty"`
+	RecoverySec    float64 `json:"recovery_sec,omitempty"`
 	Seconds        float64 `json:"seconds"`
 	TuplesPerSec   float64 `json:"tuples_per_s"`
 	AllocsPerTuple float64 `json:"allocs_per_tuple"`
@@ -213,6 +231,7 @@ func runBenchJSON(path string, minutes float64, seed int64, shardCounts []int, d
 	}
 	rep.Entries = append(rep.Entries, benchTree(minutes, seed)...)
 	rep.Entries = append(rep.Entries, benchPlanX4(minutes, seed, shardCounts)...)
+	rep.Entries = append(rep.Entries, benchFault(minutes, seed)...)
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -372,6 +391,124 @@ func benchPlanX4(minutes float64, seed int64, shardCounts []int) []benchEntry {
 		out = append(out, e)
 		fmt.Fprintf(os.Stderr, "%-22s plan/%-15s shards=%d %8d tuples  %12.0f tuples/s  %d results\n",
 			"star-sparse-x4", c.shape, c.shards, len(in), e.TuplesPerSec, e.Results)
+	}
+	return out
+}
+
+// benchFault sweeps the fault-tolerant runtime on the sparse tree workload
+// (the same feed as benchTree, adaptive policy) for the flat sharded and
+// stage-sharded tree shapes. Per shape it measures (1) the steady-state
+// cost of running supervised — arrival logging, delivery gating and the
+// default once-per-measurement-period checkpoint cadence — relative to the
+// bare executor (both best of five runs, to keep the small ratio out of
+// the timing noise), and (2) the wall time spent recovering from two
+// injected worker panics.
+func benchFault(minutes float64, seed int64) []benchEntry {
+	arrivals, cond, windows := treeDataset(minutes, seed)
+	opt := qdhj.Options{Gamma: 0.95, Period: 30 * qdhj.Second, Interval: qdhj.Second}
+	var out []benchEntry
+	for _, spec := range []string{"shard:2", "tree-shard:2"} {
+		mkOpts := func(extra ...qdhj.JoinOption) []qdhj.JoinOption {
+			p, err := qdhj.ParsePlan(spec, cond, windows, 0)
+			if err != nil {
+				panic(err)
+			}
+			return append([]qdhj.JoinOption{qdhj.WithPlan(p)}, extra...)
+		}
+		measure := func(jopts []qdhj.JoinOption) (*qdhj.Join, benchEntry) {
+			in := arrivals.Clone()
+			runtime.GC()
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			t0 := time.Now()
+			j := qdhj.NewJoin(cond, windows, opt, jopts...)
+			for _, e := range in {
+				j.Push(e)
+			}
+			j.Close()
+			dt := time.Since(t0).Seconds()
+			runtime.ReadMemStats(&m1)
+			n := len(in)
+			return j, benchEntry{
+				Dataset:        "tree-sparse-x3",
+				Mode:           "fault",
+				Shape:          spec,
+				Tuples:         n,
+				Results:        j.Results(),
+				Seconds:        dt,
+				TuplesPerSec:   float64(n) / dt,
+				AllocsPerTuple: float64(m1.Mallocs-m0.Mallocs) / float64(n),
+				BytesPerTuple:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(n),
+			}
+		}
+
+		// Bare executor vs supervised (default checkpoint cadence), the
+		// reps interleaved so both see the same machine conditions; the
+		// overhead ratio compares the best run of each.
+		bareOpts := mkOpts()
+		supOpts := mkOpts(qdhj.WithSupervision(qdhj.Supervision{}))
+		var j *qdhj.Join
+		var base, sup benchEntry
+		for i := 0; i < 5; i++ {
+			if _, e := measure(bareOpts); i == 0 || e.Seconds < base.Seconds {
+				base = e
+			}
+			if bj, e := measure(supOpts); i == 0 || e.Seconds < sup.Seconds {
+				j, sup = bj, e
+			}
+		}
+		sup.FaultOp = "checkpoint-overhead"
+		sup.Checkpoints = int64(j.Checkpoints())
+		sup.CkptOverhead = j.CheckpointTime().Seconds() / sup.Seconds
+		sup.SupOverhead = sup.Seconds/base.Seconds - 1
+		out = append(out, sup)
+		fmt.Fprintf(os.Stderr, "%-22s fault/%-12s %-19s %9d tuples  %12.0f tuples/s  %d ckpts  ckpt %.2f%%  supervised %+.2f%%\n",
+			"tree-sparse-x3", spec, "ckpt-overhead", sup.Tuples, sup.TuplesPerSec,
+			sup.Checkpoints, 100*sup.CkptOverhead, 100*sup.SupOverhead)
+
+		// Supervised with two injected worker kills: recovery wall time is
+		// the time spent inside the Push calls whose restart count moved.
+		n := int64(len(arrivals))
+		inj := qdhj.NewInjector().PanicAt(0, n/3).PanicAt(1, 2*n/3)
+		in := arrivals.Clone()
+		jf := qdhj.NewJoin(cond, windows, opt, mkOpts(
+			qdhj.WithInjector(inj), qdhj.WithSupervision(qdhj.Supervision{}))...)
+		var recovery time.Duration
+		prevRestarts := 0
+		t0 := time.Now()
+		for _, e := range in {
+			p0 := time.Now()
+			jf.Push(e)
+			if r := jf.Restarts(); r != prevRestarts {
+				recovery += time.Since(p0)
+				prevRestarts = r
+			}
+		}
+		jf.Close()
+		dt := time.Since(t0).Seconds()
+		if err := jf.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "WARNING: fault sweep %s went terminal: %v\n", spec, err)
+			continue
+		}
+		rec := benchEntry{
+			Dataset:      "tree-sparse-x3",
+			Mode:         "fault",
+			Shape:        spec,
+			FaultOp:      "recovery",
+			Tuples:       len(in),
+			Results:      jf.Results(),
+			Restarts:     jf.Restarts(),
+			RecoverySec:  recovery.Seconds(),
+			Seconds:      dt,
+			TuplesPerSec: float64(len(in)) / dt,
+		}
+		if jf.Results() != base.Results {
+			fmt.Fprintf(os.Stderr, "WARNING: recovered run produced %d results, bare run %d — must agree\n",
+				jf.Results(), base.Results)
+		}
+		out = append(out, rec)
+		fmt.Fprintf(os.Stderr, "%-22s fault/%-12s %-19s %9d tuples  %12.0f tuples/s  %d restarts  recovery %.3fs\n",
+			"tree-sparse-x3", spec, "recovery", rec.Tuples, rec.TuplesPerSec, rec.Restarts, rec.RecoverySec)
 	}
 	return out
 }

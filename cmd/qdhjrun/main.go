@@ -15,9 +15,18 @@
 //	qdhjrun -query x4 -shards 4 -explain            # what would auto pick?
 //	qdhjrun -in d.csv -query x4 -plan auto -shards 4
 //	qdhjrun -in d.csv -query x4 -plan '((0 1)x4 2 3)x4'
+//
+// Fault tolerance (the planned path): -checkpoint writes a restorable
+// snapshot partway through the feed and exits; -restore resumes a run from
+// one; -inject arms the deterministic fault injector (which implies
+// supervision — injected worker panics recover instead of crashing):
+//
+//	qdhjrun -in d.csv -query x3 -plan shard:2 -checkpoint snap.bin
+//	qdhjrun -in d.csv -query x3 -plan shard:2 -restore snap.bin -inject panic@shard1:tuple5000
 package main
 
 import (
+	"encoding/binary"
 	"flag"
 	"fmt"
 	"os"
@@ -48,6 +57,10 @@ func main() {
 		shards    = flag.Int("shards", 0, "shard budget: parallel workers for the planner / sharded operator")
 		planSpec  = flag.String("plan", "", "deployment plan spec: auto|flat|shard[:N]|tree|tree-shard[:N] or a shape s-expression like '((0 1)x4 2)x4'")
 		explain   = flag.Bool("explain", false, "print the plan graph (shape, shard routes, per-stage K scopes) and exit; works without -in")
+		ckptFile  = flag.String("checkpoint", "", "write a snapshot to this file after -checkpoint-at arrivals and exit")
+		ckptAt    = flag.Int("checkpoint-at", 0, "arrival count to checkpoint at (default: half the feed)")
+		restore   = flag.String("restore", "", "resume from a snapshot written by -checkpoint (same dataset, query and plan)")
+		inject    = flag.String("inject", "", "deterministic fault spec, e.g. 'panic@shard1:tuple5000' or 'delay@shard0:tuple100:2ms,burst@tuple200:64'; implies supervision")
 	)
 	flag.Parse()
 	if *explain {
@@ -103,15 +116,20 @@ func main() {
 		fatal(fmt.Errorf("unknown policy %q", *policy))
 	}
 
+	ft := ftOpts{ckptFile: *ckptFile, ckptAt: *ckptAt, restore: *restore, inject: *inject}
+	if ft.active() && (*tree || *pipelined) {
+		fatal(fmt.Errorf("-checkpoint/-restore/-inject run on the planned path; express the shape with -plan"))
+	}
+
 	fmt.Fprintf(os.Stderr, "computing oracle ground truth...\n")
 	truth := oracle.TrueResults(ds.Cond, ds.Windows, ds.Arrivals)
 
-	if *planSpec != "" || *shards > 0 && !*tree && !*pipelined {
+	if *planSpec != "" || *shards > 0 && !*tree && !*pipelined || ft.active() {
 		spec := *planSpec
 		if spec == "" {
 			spec = "auto"
 		}
-		runPlanned(ds, truth, acfg, *policy, stream.Time(*staticK*float64(stream.Second)), spec, *shards)
+		runPlanned(ds, truth, acfg, *policy, stream.Time(*staticK*float64(stream.Second)), spec, *shards, ft)
 		return
 	}
 
@@ -269,10 +287,61 @@ func runExplain(in, query, spec string, shards int) {
 	fmt.Print(qdhj.Explain(p))
 }
 
+// ftOpts carries the fault-tolerance flags of one run.
+type ftOpts struct {
+	ckptFile string
+	ckptAt   int
+	restore  string
+	inject   string
+}
+
+func (ft ftOpts) active() bool { return ft.ckptFile != "" || ft.restore != "" || ft.inject != "" }
+
+// writeSnapFile persists (consumed-arrival count, snapshot) — the count
+// lets -restore resume the feed at the right offset.
+func writeSnapFile(path string, consumed int, snap *qdhj.Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint64(hdr[:], uint64(consumed))
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if err := snap.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// readSnapFile reads a -checkpoint file back.
+func readSnapFile(path string) (int, *qdhj.Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer f.Close()
+	var hdr [8]byte
+	if _, err := f.Read(hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("reading snapshot header: %w", err)
+	}
+	snap, err := qdhj.ReadSnapshot(f)
+	if err != nil {
+		return 0, nil, err
+	}
+	return int(binary.BigEndian.Uint64(hdr[:])), snap, nil
+}
+
 // runPlanned replays the dataset through an explicitly planned deployment
 // (the NewJoin + WithPlan path) and reports recall against the oracle.
+// With -checkpoint it stops partway and writes a snapshot; with -restore it
+// resumes from one; with -inject it runs supervised under deterministic
+// fault injection.
 func runPlanned(ds *gen.Dataset, truth *oracle.Index, acfg adapt.Config, policy string,
-	staticK stream.Time, spec string, shards int) {
+	staticK stream.Time, spec string, shards int, ft ftOpts) {
 	p, err := qdhj.ParsePlan(spec, ds.Cond, ds.Windows, shards)
 	if err != nil {
 		fatal(err)
@@ -296,11 +365,63 @@ func runPlanned(ds *gen.Dataset, truth *oracle.Index, acfg adapt.Config, policy 
 	default:
 		fatal(fmt.Errorf("unknown policy %q for planned execution", policy))
 	}
-	j := qdhj.NewJoin(ds.Cond, ds.Windows, opt, qdhj.WithPlan(p))
-	for _, e := range ds.Arrivals.Clone() {
-		j.Push(e)
+	jopts := []qdhj.JoinOption{qdhj.WithPlan(p)}
+	if ft.inject != "" {
+		inj, err := qdhj.ParseInjectSpec(ft.inject)
+		if err != nil {
+			fatal(err)
+		}
+		jopts = append(jopts,
+			qdhj.WithInjector(inj),
+			qdhj.WithSupervision(qdhj.Supervision{OnRestart: func(n int, cause error) {
+				fmt.Fprintf(os.Stderr, "restart %d: recovered from: %v\n", n, cause)
+			}}))
+	}
+
+	arrivals := ds.Arrivals.Clone()
+	start := 0
+	var j *qdhj.Join
+	if ft.restore != "" {
+		consumed, snap, err := readSnapFile(ft.restore)
+		if err != nil {
+			fatal(err)
+		}
+		j, err = qdhj.Restore(snap, ds.Cond, ds.Windows, opt, jopts...)
+		if err != nil {
+			fatal(err)
+		}
+		start = consumed
+		fmt.Fprintf(os.Stderr, "restored %s at arrival %d of %d\n", ft.restore, consumed, len(arrivals))
+	} else {
+		j = qdhj.NewJoin(ds.Cond, ds.Windows, opt, jopts...)
+	}
+	ckAt := -1
+	if ft.ckptFile != "" {
+		ckAt = ft.ckptAt
+		if ckAt <= 0 {
+			ckAt = len(arrivals) / 2
+		}
+	}
+	for i := start; i < len(arrivals); i++ {
+		j.Push(arrivals[i])
+		if i+1 == ckAt {
+			snap, err := j.Checkpoint()
+			if err != nil {
+				fatal(err)
+			}
+			if err := writeSnapFile(ft.ckptFile, i+1, snap); err != nil {
+				fatal(err)
+			}
+			j.Close()
+			fmt.Printf("checkpoint:     %s at arrival %d of %d (signature %s)\n",
+				ft.ckptFile, i+1, len(arrivals), snap.Signature())
+			return
+		}
 	}
 	j.Close()
+	if err := j.Err(); err != nil {
+		fatal(fmt.Errorf("join went terminal after %d restarts: %w", j.Restarts(), err))
+	}
 
 	recall := 0.0
 	if truth.Total() > 0 {
@@ -310,6 +431,9 @@ func runPlanned(ds *gen.Dataset, truth *oracle.Index, acfg adapt.Config, policy 
 	fmt.Printf("execution:      planned (%s), %s  Γ=%g  P=%v  L=%v\n", spec, policy, acfg.Gamma, acfg.P, acfg.L)
 	fmt.Printf("produced:       %d of %d true results (overall recall %.4f)\n",
 		j.Results(), truth.Total(), recall)
+	if n := j.Restarts(); n > 0 {
+		fmt.Printf("restarts:       %d (all recovered)\n", n)
+	}
 	if ks := j.CurrentKs(); len(ks) > 0 && opt.Policy != qdhj.StaticSlack {
 		fmt.Printf("final Ks:       %v (max %v)\n", ks, j.CurrentK())
 		fmt.Printf("adaptation:     %d steps, avg max-K %.3f s\n", j.Adaptations(), j.AvgK()/1000)

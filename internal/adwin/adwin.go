@@ -210,6 +210,51 @@ func (w *Window) variance() float64 {
 	return v
 }
 
+// BucketState is the serialized form of one exponential-histogram bucket.
+type BucketState struct {
+	Sum, SumSq, Size float64
+}
+
+// State is the serializable snapshot of a Window: per-row bucket lists,
+// oldest first, plus the aggregates and the cut-check phase.
+type State struct {
+	Rows     [][]BucketState
+	Total    float64
+	Sum      float64
+	SumSq    float64
+	SinceCut int
+}
+
+// State captures the window's state.
+func (w *Window) State() State {
+	st := State{Total: w.total, Sum: w.sum, SumSq: w.sumSq, SinceCut: w.sinceCut,
+		Rows: make([][]BucketState, len(w.rows))}
+	for i := range w.rows {
+		r := &w.rows[i]
+		st.Rows[i] = make([]BucketState, r.n)
+		for j := 0; j < r.n; j++ {
+			b := r.at(j)
+			st.Rows[i][j] = BucketState{Sum: b.sum, SumSq: b.sumSq, Size: b.size}
+		}
+	}
+	return st
+}
+
+// Restore loads a captured state into a freshly constructed window (same
+// delta).
+func (w *Window) Restore(st State) {
+	w.total = st.Total
+	w.sum = st.Sum
+	w.sumSq = st.SumSq
+	w.sinceCut = st.SinceCut
+	w.rows = make([]row, len(st.Rows))
+	for i, bs := range st.Rows {
+		for _, b := range bs {
+			w.rows[i].push(bucket{sum: b.Sum, sumSq: b.SumSq, size: b.Size})
+		}
+	}
+}
+
 // dropOldestBucket removes the single oldest bucket from the histogram.
 func (w *Window) dropOldestBucket() {
 	for i := len(w.rows) - 1; i >= 0; i-- {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/leakcheck"
 	"testing"
 
 	"repro/internal/adapt"
@@ -9,6 +10,7 @@ import (
 )
 
 func TestEmptyInputFinish(t *testing.T) {
+	leakcheck.Check(t)
 	p := New(baseCfg(ModelPolicy()))
 	p.Finish() // must not panic or deadlock
 	if p.Results() != 0 || p.Adaptations() != 0 {
@@ -17,6 +19,7 @@ func TestEmptyInputFinish(t *testing.T) {
 }
 
 func TestSingleTuple(t *testing.T) {
+	leakcheck.Check(t)
 	p := New(baseCfg(ModelPolicy()))
 	p.Push(&stream.Tuple{TS: 100, Src: 0, Attrs: []float64{1}})
 	p.Finish()
@@ -29,6 +32,7 @@ func TestSingleTuple(t *testing.T) {
 }
 
 func TestAllIdenticalTimestamps(t *testing.T) {
+	leakcheck.Check(t)
 	p := New(baseCfg(StaticPolicy(10)))
 	for i := 0; i < 100; i++ {
 		p.Push(&stream.Tuple{TS: 500, Seq: uint64(i), Src: i % 2, Attrs: []float64{1}})
@@ -41,6 +45,7 @@ func TestAllIdenticalTimestamps(t *testing.T) {
 }
 
 func TestOneSilentStream(t *testing.T) {
+	leakcheck.Check(t)
 	// Stream 1 never produces; the Synchronizer must hold stream 0 until
 	// Finish, then flush. No results, no loss, no deadlock.
 	p := New(baseCfg(StaticPolicy(0)))
@@ -54,6 +59,7 @@ func TestOneSilentStream(t *testing.T) {
 }
 
 func TestExtremeDelaysBeyondWindows(t *testing.T) {
+	leakcheck.Check(t)
 	// Tuples arriving later than their window extent are dropped from
 	// window insertion entirely (Alg. 2 line 9 guard) and must not corrupt
 	// state.
@@ -70,6 +76,7 @@ func TestExtremeDelaysBeyondWindows(t *testing.T) {
 }
 
 func TestGapLargerThanP(t *testing.T) {
+	leakcheck.Check(t)
 	// A timestamp gap far larger than P must fast-forward to the last
 	// crossed adaptation boundary in a single collapsed decision — NOT one
 	// decision per boundary, which would re-decide on an empty profiler and
@@ -90,6 +97,7 @@ func TestGapLargerThanP(t *testing.T) {
 }
 
 func TestZeroWindowPanics(t *testing.T) {
+	leakcheck.Check(t)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic for zero window")
@@ -103,6 +111,7 @@ func TestZeroWindowPanics(t *testing.T) {
 }
 
 func TestFourWayPipeline(t *testing.T) {
+	leakcheck.Check(t)
 	cond := join.Star(4, []int{0, 1, 2}, []int{0, 0, 0})
 	cfg := Config{
 		Windows: []stream.Time{300, 300, 300, 300},

@@ -8,6 +8,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"repro/internal/leakcheck"
 	"testing"
 
 	"math/rand"
@@ -144,6 +145,7 @@ func putU64(buf *[8]byte, v uint64) {
 // recorded before the feedback loop was extracted into internal/feedback
 // (regenerate with `go test -run TestGoldenFeedbackTrace -update`).
 func TestGoldenFeedbackTrace(t *testing.T) {
+	leakcheck.Check(t)
 	path := filepath.Join("testdata", "golden_trace.json")
 	var got []goldenRun
 	for _, c := range goldenConfigs() {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"repro/internal/leakcheck"
 	"testing"
 	"testing/quick"
 
@@ -13,6 +14,7 @@ import (
 // disorder pattern, the pipeline's per-timestamp result counts never exceed
 // the oracle's — the framework can lose results, never fabricate them.
 func TestProducedSubsetOfTruthProperty(t *testing.T) {
+	leakcheck.Check(t)
 	f := func(seed int64, kRaw uint16, policyRaw uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
 		in := mkWorkload(800+rng.Intn(800), stream.Time(rng.Intn(300)), seed)
@@ -62,6 +64,7 @@ func TestProducedSubsetOfTruthProperty(t *testing.T) {
 // TestMonotoneKMoreResults: larger static buffers can only help — the
 // produced result count is non-decreasing in K on a fixed workload.
 func TestMonotoneKMoreResults(t *testing.T) {
+	leakcheck.Check(t)
 	in := mkWorkload(2500, 200, 99)
 	var prev int64 = -1
 	for _, k := range []stream.Time{0, 50, 100, 200, 400} {

@@ -14,6 +14,7 @@ package core
 
 import (
 	"repro/internal/adapt"
+	"repro/internal/fault"
 	"repro/internal/feedback"
 	"repro/internal/join"
 	"repro/internal/kslack"
@@ -106,6 +107,10 @@ type Config struct {
 	InitialK stream.Time
 	// Sharding enables the partition-parallel execution path.
 	Sharding Sharding
+	// Inject is the optional fault-injection harness: sharded runs hand it
+	// to the shard workers (worker s checks directives for worker s); the
+	// single-threaded path checks worker 0's directives at every Push.
+	Inject *fault.Injector
 }
 
 // Pipeline is the assembled framework.
@@ -167,6 +172,7 @@ func New(cfg Config) *Pipeline {
 			OnOutOfOrder: func(delay stream.Time) {
 				p.loop.RecordOutOfOrder(0, delay)
 			},
+			Inject: cfg.Inject,
 		})
 		p.sync = syncer.New(m, p.rt.Route)
 	} else {
@@ -213,6 +219,13 @@ func (p *Pipeline) onProcessed(e *stream.Tuple, nCross, nOn int64, inOrder bool)
 func (p *Pipeline) Push(e *stream.Tuple) {
 	if p.finished {
 		panic("core: Push on a finished pipeline — Finish flushed the buffers and a run cannot be restarted; build a new Pipeline")
+	}
+	if p.rt == nil {
+		// The single-threaded path has no worker goroutines; an injected
+		// worker-0 fault fires here, between tuples, which is exactly a
+		// checkpoint-consistent crash point (DESIGN.md §10).
+		p.cfg.Inject.MaybeDelay(0)
+		p.cfg.Inject.MaybePanic(0)
 	}
 	p.pushed++
 	now := p.loop.Observe(e)

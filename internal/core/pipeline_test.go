@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"repro/internal/leakcheck"
 	"sort"
 	"testing"
 
@@ -56,6 +57,7 @@ func baseCfg(policy PolicyFactory) Config {
 }
 
 func TestPipelinePanicsOnArityMismatch(t *testing.T) {
+	leakcheck.Check(t)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
@@ -68,6 +70,7 @@ func TestPipelinePanicsOnArityMismatch(t *testing.T) {
 // (nearly) complete, so the produced results match the oracle except for
 // tuples whose delay exceeded the maximum observed so far.
 func TestMaxKMatchesOracle(t *testing.T) {
+	leakcheck.Check(t)
 	in := mkWorkload(3000, 200, 1)
 	truth := oracle.TrueResults(equi2(), []stream.Time{500, 500}, in)
 
@@ -85,6 +88,7 @@ func TestMaxKMatchesOracle(t *testing.T) {
 // TestNoKLosesResults: without K-slack, the delayed tuples' results are
 // mostly lost.
 func TestNoKLosesResults(t *testing.T) {
+	leakcheck.Check(t)
 	in := mkWorkload(3000, 200, 2)
 	truth := oracle.TrueResults(equi2(), []stream.Time{500, 500}, in)
 	p := New(baseCfg(NoKPolicy()))
@@ -98,6 +102,7 @@ func TestNoKLosesResults(t *testing.T) {
 // a smaller average K than Max-K-slack while keeping results close to the
 // requirement.
 func TestModelPolicyBeatsMaxKOnLatency(t *testing.T) {
+	leakcheck.Check(t)
 	in := mkWorkload(6000, 200, 3)
 	truth := oracle.TrueResults(equi2(), []stream.Time{500, 500}, in)
 
@@ -119,6 +124,7 @@ func TestModelPolicyBeatsMaxKOnLatency(t *testing.T) {
 }
 
 func TestAdaptationCadence(t *testing.T) {
+	leakcheck.Check(t)
 	in := mkWorkload(3000, 50, 4) // spans ~30 s
 	p := New(baseCfg(StaticPolicy(50)))
 	var events []AdaptEvent
@@ -145,6 +151,7 @@ func TestAdaptationCadence(t *testing.T) {
 // already-reset profiler and push zero true-size estimates into the
 // monitor ring.
 func TestSparseArrivalSingleAdaptStep(t *testing.T) {
+	leakcheck.Check(t)
 	p := New(baseCfg(StaticPolicy(30))) // L = 1 s
 	var events []AdaptEvent
 	p.cfg.OnAdapt = func(ev AdaptEvent) { events = append(events, ev) }
@@ -175,6 +182,7 @@ func TestSparseArrivalSingleAdaptStep(t *testing.T) {
 }
 
 func TestConservationThroughPipeline(t *testing.T) {
+	leakcheck.Check(t)
 	in := mkWorkload(2000, 100, 5)
 	p := New(baseCfg(StaticPolicy(30)))
 	p.Run(in.Clone())
@@ -241,6 +249,7 @@ func sameResults(a, b map[string]int) bool {
 // a configuration (k1, k2) is equivalent to (k, k) with
 // k = min{iT} − min{iT − ki} = max{ki}.
 func TestSameKTheoremSynchronized(t *testing.T) {
+	leakcheck.Check(t)
 	in := mkWorkload(2500, 150, 7)
 	w := []stream.Time{500, 500}
 	configs := [][2]stream.Time{{0, 60}, {60, 0}, {30, 90}, {150, 40}}
@@ -264,6 +273,7 @@ func TestSameKTheoremSynchronized(t *testing.T) {
 // k = min{iT} − min{iT − ki} = max{k1, k0 − skew} when k0−skew ≥ … (see
 // Fig. 4 cases 1 and 2).
 func TestSameKTheoremSkewedStreams(t *testing.T) {
+	leakcheck.Check(t)
 	const skew = 50
 	rng := rand.New(rand.NewSource(11))
 	var in stream.Batch

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"repro/internal/leakcheck"
 	"testing"
 
 	"repro/internal/stream"
 )
 
 func TestRunnerMatchesSynchronous(t *testing.T) {
+	leakcheck.Check(t)
 	in := mkWorkload(2000, 100, 31)
 
 	sync := New(baseCfg(StaticPolicy(50)))
@@ -30,6 +32,7 @@ func TestRunnerMatchesSynchronous(t *testing.T) {
 }
 
 func TestRunnerCloseIdempotent(t *testing.T) {
+	leakcheck.Check(t)
 	r := NewRunner(baseCfg(NoKPolicy()), 8)
 	r.Close()
 	r.Close() // must not panic
@@ -37,6 +40,7 @@ func TestRunnerCloseIdempotent(t *testing.T) {
 }
 
 func TestRunnerBackpressure(t *testing.T) {
+	leakcheck.Check(t)
 	// A tiny buffer forces the producer to block on the consumer; the run
 	// must still complete and conserve tuples.
 	r := NewRunner(baseCfg(StaticPolicy(10)), 1)

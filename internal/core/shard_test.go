@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"repro/internal/leakcheck"
 	"testing"
 
 	"repro/internal/adapt"
@@ -66,6 +67,7 @@ func runCfg(cfg Config, in []*stream.Tuple) (results int64, avgK float64, adapts
 // bit-for-bit, at shard counts 1, 2, 4, 8 — the quality-driven feedback
 // loop makes one global Same-K decision regardless of sharding.
 func TestPipelineShardedDifferential(t *testing.T) {
+	leakcheck.Check(t)
 	conds := map[string]func() *join.Condition{
 		"equi": func() *join.Condition { return join.EquiChain(2, 0) },
 		"band": func() *join.Condition { return join.Cross(2).Band(0, 1, 1, 1, 1) },
@@ -125,6 +127,7 @@ func TestPipelineShardedDifferential(t *testing.T) {
 // TestPipelineShardedCounts: the count sink and Results() agree on the
 // sharded path, and sharding does not disturb Pushed().
 func TestPipelineShardedCounts(t *testing.T) {
+	leakcheck.Check(t)
 	rng := rand.New(rand.NewSource(3))
 	in := arrivals(rng, 3, 3000)
 	var counted int64
@@ -154,6 +157,7 @@ func TestPipelineShardedCounts(t *testing.T) {
 
 // TestPushAfterFinishPanics covers the restart footgun on both paths.
 func TestPushAfterFinishPanics(t *testing.T) {
+	leakcheck.Check(t)
 	for _, shards := range []int{0, 4} {
 		cfg := Config{
 			Windows:  []stream.Time{100, 100},
@@ -177,6 +181,7 @@ func TestPushAfterFinishPanics(t *testing.T) {
 // TestDoubleFinishPanics: Finish is a terminal transition, not idempotent
 // cleanup — a second call indicates a lifecycle bug upstream.
 func TestDoubleFinishPanics(t *testing.T) {
+	leakcheck.Check(t)
 	for _, shards := range []int{0, 2} {
 		p := New(Config{
 			Windows:  []stream.Time{100, 100},
@@ -198,6 +203,7 @@ func TestDoubleFinishPanics(t *testing.T) {
 // TestShardedSetEmitAfterStartPanics: installing a sink after the first
 // Push would lose the results already counted on the fast path.
 func TestShardedSetEmitAfterStartPanics(t *testing.T) {
+	leakcheck.Check(t)
 	p := New(Config{
 		Windows:  []stream.Time{100, 100},
 		Cond:     join.EquiChain(2, 0),

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"repro/internal/leakcheck"
+	"testing"
+
+	"repro/internal/adapt"
+	"repro/internal/fault"
+	"repro/internal/join"
+	"repro/internal/stream"
+)
+
+// ckptState is the gob envelope used by the round-trip tests: the pipeline
+// state plus the tuple table it references.
+type ckptState struct {
+	Tuples []fault.TupleRec
+	State  State
+}
+
+// gobRoundTrip forces the state through a real encode/decode cycle so the
+// test exercises exactly what a file checkpoint would.
+func gobRoundTrip(t *testing.T, st State, tt *fault.TupleTable) (State, *fault.TupleArena) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ckptState{Tuples: tt.Recs, State: st}); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var out ckptState
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return out.State, fault.NewTupleArena(out.Tuples)
+}
+
+// runInterrupted pushes in[:cut], checkpoints through gob, restores into a
+// fresh pipeline, pushes the rest, and returns the combined observables.
+func runInterrupted(t *testing.T, cfg Config, in []*stream.Tuple, cut int) (int64, float64, int64, map[string]int) {
+	t.Helper()
+	multiset := map[string]int{}
+	emit := func(r stream.Result) {
+		s := ""
+		for _, e := range r.Tuples {
+			s += fmt.Sprintf("%d:%d,", e.Src, e.Seq)
+		}
+		multiset[s]++
+	}
+	cfg.Emit = emit
+
+	p := New(cfg)
+	work := clone(in)
+	for _, e := range work[:cut] {
+		p.Push(e)
+	}
+	tt := fault.NewTupleTable()
+	st, ta := gobRoundTrip(t, p.Checkpoint(tt), tt)
+	// The first pipeline is abandoned mid-run (simulating a crash after the
+	// checkpoint); its shard goroutines still need to stop.
+	if p.rt != nil {
+		p.rt.Close()
+	}
+	p.loop.Close()
+
+	q := New(cfg)
+	q.RestoreState(st, ta)
+	for _, e := range work[cut:] {
+		q.Push(e)
+	}
+	q.Finish()
+	return q.Results(), q.AvgK(), q.Adaptations(), multiset
+}
+
+// TestCheckpointRestoreDifferential: cutting any run at an arbitrary tuple,
+// serializing, and resuming in a fresh pipeline must reproduce the
+// uninterrupted run bit-for-bit — result multiset, total results, AvgK and
+// adaptation count — on the single-threaded path and at every shard count.
+func TestCheckpointRestoreDifferential(t *testing.T) {
+	leakcheck.Check(t)
+	conds := map[string]func() *join.Condition{
+		"equi": func() *join.Condition { return join.EquiChain(2, 0) },
+		"band": func() *join.Condition { return join.Cross(2).Band(0, 1, 1, 1, 1) },
+		"generic": func() *join.Condition {
+			return join.Cross(2).Where([]int{0, 1}, func(a []*stream.Tuple) bool {
+				return a[0].Attr(0) == a[1].Attr(0)
+			})
+		},
+	}
+	in := arrivals(rand.New(rand.NewSource(7)), 2, 4000)
+	ac := adapt.Config{Gamma: 0.9, P: 10 * stream.Second, L: stream.Second}
+	for name, mk := range conds {
+		for _, shards := range []int{1, 2, 4, 8} {
+			for _, cut := range []int{1333, 2000} {
+				t.Run(fmt.Sprintf("%s/shards%d/cut%d", name, shards, cut), func(t *testing.T) {
+					cfg := Config{
+						Windows:  []stream.Time{2 * stream.Second, 2 * stream.Second},
+						Cond:     mk(),
+						Adapt:    ac,
+						Sharding: Sharding{Shards: shards},
+					}
+					wantRes, wantAvgK, wantAdapts, wantSet := runCfg(Config{
+						Windows: cfg.Windows, Cond: mk(), Adapt: ac,
+						Sharding: cfg.Sharding,
+					}, in)
+					gotRes, gotAvgK, gotAdapts, gotSet := runInterrupted(t, Config{
+						Windows: cfg.Windows, Cond: mk(), Adapt: ac,
+						Sharding: cfg.Sharding,
+					}, in, cut)
+					if gotRes != wantRes || gotAvgK != wantAvgK || gotAdapts != wantAdapts {
+						t.Fatalf("resumed run diverged: results %d/%d avgK %v/%v adapts %d/%d",
+							gotRes, wantRes, gotAvgK, wantAvgK, gotAdapts, wantAdapts)
+					}
+					if len(gotSet) != len(wantSet) {
+						t.Fatalf("multiset size %d want %d", len(gotSet), len(wantSet))
+					}
+					for k, n := range wantSet {
+						if gotSet[k] != n {
+							t.Fatalf("multiset[%s] = %d want %d", k, gotSet[k], n)
+						}
+					}
+				})
+			}
+		}
+	}
+}

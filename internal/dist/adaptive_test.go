@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"repro/internal/leakcheck"
 	"testing"
 
 	"repro/internal/adapt"
@@ -37,6 +38,7 @@ var testAdapt = adapt.Config{Gamma: 0.9, P: 10 * stream.Second, L: stream.Second
 // within tolerance, matching the single-operator pipeline's recall on the
 // same input.
 func TestTreeAdaptationMeetsRecallTarget(t *testing.T) {
+	leakcheck.Check(t)
 	in, windows := adaptWorkload(3, 6000, [3]stream.Time{2500, 2500, 2500})
 	cond := join.EquiChain(3, 0)
 	truth := oracle.TrueResults(cond, windows, in).Total()
@@ -71,6 +73,7 @@ func TestTreeAdaptationMeetsRecallTarget(t *testing.T) {
 // pays a strictly smaller total buffered delay than Same-K, and still meets
 // the recall target.
 func TestPerStageKDivergesOnAsymmetricDelays(t *testing.T) {
+	leakcheck.Check(t)
 	in, windows := adaptWorkload(5, 6000, [3]stream.Time{120, 120, 3000})
 	cond := join.EquiChain(3, 0)
 	truth := oracle.TrueResults(cond, windows, in).Total()
@@ -109,6 +112,7 @@ func TestPerStageKDivergesOnAsymmetricDelays(t *testing.T) {
 // (best-effort decision timing) still produces a recall near the target and
 // takes decisions.
 func TestAdaptivePipelinedProducesSaneResults(t *testing.T) {
+	leakcheck.Check(t)
 	in, windows := adaptWorkload(7, 4000, [3]stream.Time{2000, 2000, 2000})
 	cond := join.EquiChain(3, 0)
 	truth := oracle.TrueResults(cond, windows, in).Total()
@@ -146,6 +150,7 @@ func TestAdaptivePipelinedProducesSaneResults(t *testing.T) {
 // synchronous tree; Push-after-Close and double-Close panic on the
 // pipelined one (DESIGN.md §3 lifecycle conventions, matching Join).
 func TestTreeLifecyclePanics(t *testing.T) {
+	leakcheck.Check(t)
 	mustPanic := func(name string, f func()) {
 		t.Helper()
 		defer func() {

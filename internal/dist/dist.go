@@ -27,6 +27,7 @@ package dist
 import (
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/index"
 	"repro/internal/join"
 	"repro/internal/kslack"
@@ -661,6 +662,32 @@ type Pipelined struct {
 	wg     sync.WaitGroup
 	result int64
 	closed bool
+
+	// First contained stage-goroutine failure (see Err). Pipelined is the
+	// one executor whose join state lives on multiple goroutines with
+	// in-flight channel traffic, so it is NOT checkpointable; fault
+	// handling here is containment only — a panicking stage flips to drain
+	// mode, the chain keeps moving so no goroutine leaks, and the typed
+	// error is surfaced instead of crashing the process.
+	failMu  sync.Mutex
+	failure error
+}
+
+// fail records the first stage failure.
+func (p *Pipelined) fail(err error) {
+	p.failMu.Lock()
+	if p.failure == nil {
+		p.failure = err
+	}
+	p.failMu.Unlock()
+}
+
+// Err returns the first contained stage failure, or nil. Definitive after
+// Wait; results produced before the failure remain valid.
+func (p *Pipelined) Err() error {
+	p.failMu.Lock()
+	defer p.failMu.Unlock()
+	return p.failure
 }
 
 // NewPipelined builds the pipelined tree; buffer sizes the inter-stage
@@ -689,13 +716,34 @@ func NewPipelined(cond *join.Condition, windows []stream.Time, k stream.Time, bu
 			down = chans[j+1]
 		}
 		in := chans[j]
+		j := j
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
-			for ev := range in {
-				s.receive(ev)
+			failed := false
+			step := func(f func()) {
+				defer func() {
+					if r := recover(); r != nil {
+						failed = true
+						p.fail(&fault.WorkerError{Worker: j, Cause: fault.AsError(r)})
+					}
+				}()
+				f()
 			}
-			s.finish()
+			for ev := range in {
+				if failed {
+					// Drain mode: keep consuming so upstream never blocks.
+					// Downstream output is already unsound without this
+					// stage's partials, so nothing is forwarded; the chain
+					// still closes through normally and Err reports why.
+					continue
+				}
+				ev := ev
+				step(func() { s.receive(ev) })
+			}
+			if !failed {
+				step(func() { s.finish() })
+			}
 			if down != nil {
 				close(down)
 			} else {

@@ -3,6 +3,7 @@ package dist
 import (
 	"math"
 	"math/rand"
+	"repro/internal/leakcheck"
 	"testing"
 
 	"repro/internal/join"
@@ -57,6 +58,7 @@ func mjoinResults(cond *join.Condition, windows []stream.Time, k stream.Time, in
 func clone(in stream.Batch) stream.Batch { return in.Clone() }
 
 func TestTreeAgreesWithMJoin2Way(t *testing.T) {
+	leakcheck.Check(t)
 	in := workload(2, 2000, 1, 10)
 	maxD, _ := in.MaxDelay()
 	cond := join.EquiChain(2, 0)
@@ -77,6 +79,7 @@ func TestTreeAgreesWithMJoin2Way(t *testing.T) {
 }
 
 func TestTreeAgreesWithMJoin3Way(t *testing.T) {
+	leakcheck.Check(t)
 	in := workload(3, 1200, 2, 200)
 	maxD, _ := in.MaxDelay()
 	cond := join.EquiChain(3, 0)
@@ -103,6 +106,7 @@ func TestTreeAgreesWithMJoin3Way(t *testing.T) {
 // must expire when its EARLIEST constituent leaves its own (possibly small)
 // window, not when the partial's max timestamp does.
 func TestTreeAgreesWithMJoinUnequalWindows(t *testing.T) {
+	leakcheck.Check(t)
 	in := workload(3, 1000, 3, 50)
 	maxD, _ := in.MaxDelay()
 	cond := join.EquiChain(3, 0)
@@ -126,6 +130,7 @@ func TestTreeAgreesWithMJoinUnequalWindows(t *testing.T) {
 // they become fully bound; the tree must agree with the central operator's
 // range-index execution result for result.
 func TestTreeBandPredicate(t *testing.T) {
+	leakcheck.Check(t)
 	in := workload(2, 1500, 9, 40)
 	maxD, _ := in.MaxDelay()
 	mk := func() *join.Condition {
@@ -151,6 +156,7 @@ func TestTreeBandPredicate(t *testing.T) {
 // TestTreePureBandPredicate runs a band-only condition through the
 // unindexed scan path of the stage windows.
 func TestTreePureBandPredicate(t *testing.T) {
+	leakcheck.Check(t)
 	in := workload(2, 900, 10, 5)
 	maxD, _ := in.MaxDelay()
 	mk := func() *join.Condition { return join.Cross(2).Band(0, 1, 1, 1, 12) }
@@ -172,6 +178,7 @@ func TestTreePureBandPredicate(t *testing.T) {
 // TestTreeSealsCondition: mutating a condition after compiling it into a
 // tree must panic — the stage plans would silently ignore the predicate.
 func TestTreeSealsCondition(t *testing.T) {
+	leakcheck.Check(t)
 	cond := join.Cross(3).Band(0, 1, 1, 1, 9)
 	NewTree(cond, []stream.Time{100, 100, 100}, 0, nil)
 	defer func() {
@@ -186,6 +193,7 @@ func TestTreeSealsCondition(t *testing.T) {
 // partial results, exercising the sorted range index on both stage sides
 // (insert, expire, probe) through the synchronous and pipelined drivers.
 func TestTreeBandChain3Way(t *testing.T) {
+	leakcheck.Check(t)
 	in := workload(3, 700, 21, 5)
 	maxD, _ := in.MaxDelay()
 	mk := func() *join.Condition {
@@ -226,6 +234,7 @@ func TestTreeBandChain3Way(t *testing.T) {
 // A generic (non-equi) predicate forces the cross-join scan path of the
 // stage windows.
 func TestTreeGenericPredicate(t *testing.T) {
+	leakcheck.Check(t)
 	in := workload(2, 800, 4, 5)
 	maxD, _ := in.MaxDelay()
 	mk := func() *join.Condition {
@@ -250,6 +259,7 @@ func TestTreeGenericPredicate(t *testing.T) {
 }
 
 func TestPipelinedMatchesTree(t *testing.T) {
+	leakcheck.Check(t)
 	in := workload(3, 1000, 5, 100)
 	maxD, _ := in.MaxDelay()
 	w := []stream.Time{stream.Second, stream.Second, stream.Second}
@@ -285,6 +295,7 @@ func TestPipelinedMatchesTree(t *testing.T) {
 }
 
 func TestSinkReceivesCompleteResults(t *testing.T) {
+	leakcheck.Check(t)
 	var got []Partial
 	tree := NewTree(join.EquiChain(2, 0), []stream.Time{stream.Second, stream.Second}, 2*stream.Second,
 		func(p Partial) { got = append(got, p) })
@@ -304,6 +315,7 @@ func TestSinkReceivesCompleteResults(t *testing.T) {
 // maintenance when the entry expires (regression: remove() used to panic on
 // the unreachable NaN map key).
 func TestNaNKeyNeverMatchesNorCrashes(t *testing.T) {
+	leakcheck.Check(t)
 	tree := NewTree(join.EquiChain(2, 0), []stream.Time{100, 100}, 0, nil)
 	tree.Push(&stream.Tuple{TS: 10, Seq: 0, Src: 0, Attrs: []float64{math.NaN()}})
 	tree.Push(&stream.Tuple{TS: 20, Seq: 1, Src: 1, Attrs: []float64{math.NaN()}})
@@ -316,6 +328,7 @@ func TestNaNKeyNeverMatchesNorCrashes(t *testing.T) {
 }
 
 func TestSetKPropagates(t *testing.T) {
+	leakcheck.Check(t)
 	// With K = 0 the disordered feed loses results; raising K to cover the
 	// disorder mid-stream must start recovering them.
 	in := workload(2, 1500, 6, 5)

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/index"
 	"repro/internal/join"
 	"repro/internal/kslack"
@@ -175,6 +176,13 @@ type PlanTree struct {
 
 	results  int64
 	finished bool
+
+	// inject is the optional deterministic fault injector. Sharded stages
+	// check it on their worker goroutines (worker ids are shard-local); a
+	// tree without sharded stages checks worker 0 on the driver thread at
+	// every Push, between tuples — a checkpoint-consistent crash point.
+	inject    *fault.Injector
+	hasShards bool
 }
 
 // pleaf is one raw input: its K-slack buffer and the stage side it feeds.
@@ -219,8 +227,17 @@ func NewPlanTree(cond *join.Condition, windows []stream.Time, shape *Shape, k st
 		lf.stage.checks = append(lf.stage.checks, gi)
 		claimed[gi] = true
 	}
+	for _, s := range t.stages {
+		if s.sh != nil {
+			t.hasShards = true
+		}
+	}
 	return t
 }
+
+// SetInjector arms the deterministic fault injector; call before the first
+// Push. A nil injector (the default) is a no-op on every check.
+func (t *PlanTree) SetInjector(inj *fault.Injector) { t.inject = inj }
 
 // build recursively compiles a shape node, returning its covered streams.
 // Stages are appended post-order, so children precede parents and the root
@@ -304,6 +321,10 @@ func (t *PlanTree) Push(e *stream.Tuple) {
 	if t.finished {
 		panic("dist: Push on a finished PlanTree — Finish flushed the stage buffers and a run cannot be restarted; build a new PlanTree")
 	}
+	if !t.hasShards {
+		t.inject.MaybeDelay(0)
+		t.inject.MaybePanic(0)
+	}
 	t.leaves[e.Src].ks.Push(e)
 }
 
@@ -351,6 +372,20 @@ func (t *PlanTree) SyncBarrier() {
 	}
 }
 
+// Quiesce is the stronger checkpoint barrier: beyond SyncBarrier's ordered
+// release of all routed probes, it drains the trailing insert-only messages
+// out of every worker queue, bottom-up. Afterwards no sharded stage has any
+// message in flight, so the worker windows are stable and readable from the
+// driver thread. A no-op without sharded stages.
+func (t *PlanTree) Quiesce() {
+	for _, s := range t.stages {
+		if s.sh != nil {
+			s.sh.quiesce()
+			s.sh.insertBarrier()
+		}
+	}
+}
+
 // Finish flushes every buffer bottom-up; afterwards all results have been
 // emitted and the shard workers have exited. Finishing twice panics, as
 // does pushing afterwards.
@@ -374,6 +409,39 @@ func (t *PlanTree) Finish() {
 
 // Results returns the number of complete results produced so far.
 func (t *PlanTree) Results() int64 { return t.results }
+
+// BufferedTuples returns the total number of tuples currently held in the
+// leaf K-slack buffers — the bounded-ingest occupancy measure.
+func (t *PlanTree) BufferedTuples() int {
+	n := 0
+	for _, lf := range t.leaves {
+		n += lf.ks.Len()
+	}
+	return n
+}
+
+// ShedWorst evicts the buffered tuple with the largest delay. The static
+// tree runs no feedback loop, so no productivity score exists to rank by
+// and no recall accounting absorbs the drop; the largest-delay tuple is the
+// one most likely already beyond its usefulness. Ties break toward the
+// first buffer, then the first position — deterministic, so shed decisions
+// replay identically. Returns false when nothing is buffered.
+func (t *PlanTree) ShedWorst() bool {
+	bi, bj := -1, -1
+	var worstDelay stream.Time
+	for i, lf := range t.leaves {
+		for j, e := range lf.ks.Items() {
+			if bi < 0 || e.Delay > worstDelay {
+				bi, bj, worstDelay = i, j, e.Delay
+			}
+		}
+	}
+	if bi < 0 {
+		return false
+	}
+	t.leaves[bi].ks.EvictAt(bj)
+	return true
+}
 
 // Operators returns the number of binary join stages.
 func (t *PlanTree) Operators() int { return len(t.stages) }
@@ -618,6 +686,7 @@ func (s *pstage) output(out *event) {
 const (
 	pmsgProbe = iota
 	pmsgInsert
+	pmsgBarrier
 )
 
 // shardDepth bounds how many probes may be in flight per sharded stage:
@@ -661,15 +730,31 @@ type pshard struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
 	ready map[uint64][]*event // completed, unreleased probe outputs
+
+	wg sync.WaitGroup // insertBarrier rendezvous
+
+	// First worker failure, recorded under mu. A probe failure is surfaced
+	// when release reaches its sequence number — the exact chunk boundary
+	// the emit gate of a supervised replay relies on; an insert failure is
+	// surfaced before the next chunk is released.
+	failed        bool
+	failImmediate bool
+	failSeq       uint64
+	failErr       error
+
+	stopped bool
 }
 
 // pworker is one shard of a stage: its own window pair and scratch buffers,
 // fed FIFO through a channel.
 type pworker struct {
-	sh   *pshard
-	ch   chan pmsg
-	win  [2]*pwindow
-	done chan struct{}
+	sh      *pshard
+	id      int
+	ch      chan pmsg
+	win     [2]*pwindow
+	scratch []*stream.Tuple
+	done    chan struct{}
+	failed  bool // drain mode: a panic was contained, inputs are discarded
 }
 
 func newPshard(s *pstage, n int) *pshard {
@@ -690,10 +775,12 @@ func newPshard(s *pstage, n int) *pshard {
 	sh.workers = make([]*pworker, n)
 	for i := range sh.workers {
 		w := &pworker{
-			sh:   sh,
-			ch:   make(chan pmsg, 256),
-			win:  [2]*pwindow{newPwindow(s.keyed, s.banded), newPwindow(s.keyed, s.banded)},
-			done: make(chan struct{}),
+			sh:      sh,
+			id:      i,
+			ch:      make(chan pmsg, 256),
+			win:     [2]*pwindow{newPwindow(s.keyed, s.banded), newPwindow(s.keyed, s.banded)},
+			scratch: make([]*stream.Tuple, s.tree.m),
+			done:    make(chan struct{}),
 		}
 		sh.workers[i] = w
 		go w.run()
@@ -772,10 +859,23 @@ func (sh *pshard) release(upTo uint64) {
 	s := sh.stage
 	for sh.nextSeq <= upTo {
 		sh.mu.Lock()
-		outs, ok := sh.ready[sh.nextSeq]
-		for !ok {
+		var outs []*event
+		for {
+			// A contained worker panic surfaces here, on the driver thread,
+			// before the failed probe's chunk (or, for an insert failure,
+			// the next chunk) is released: everything already emitted is a
+			// prefix of complete per-probe chunks, which is what keeps a
+			// checkpoint+replay's emit gate multiset-exact (DESIGN.md §10).
+			if sh.failed && (sh.failImmediate || sh.failSeq <= sh.nextSeq) {
+				err := sh.failErr
+				sh.mu.Unlock()
+				panic(err)
+			}
+			var ok bool
+			if outs, ok = sh.ready[sh.nextSeq]; ok {
+				break
+			}
 			sh.cond.Wait()
-			outs, ok = sh.ready[sh.nextSeq]
 		}
 		delete(sh.ready, sh.nextSeq)
 		sh.mu.Unlock()
@@ -802,8 +902,44 @@ func (sh *pshard) quiesce() {
 	}
 }
 
-// stop shuts the workers down; call after a final quiesce.
+// insertBarrier waits until every worker has drained its queue — including
+// the trailing insert-only messages quiesce leaves behind. After quiesce +
+// insertBarrier the worker windows are stable and (via the WaitGroup's
+// happens-before edge) readable from the driver thread: the precondition
+// for capturing a checkpoint of a sharded stage.
+func (sh *pshard) insertBarrier() {
+	sh.wg.Add(sh.n)
+	for _, w := range sh.workers {
+		w.ch <- pmsg{kind: pmsgBarrier}
+	}
+	sh.wg.Wait()
+}
+
+// fail records the first worker failure and wakes the driver, which may be
+// blocked in release waiting for the failed probe's outputs.
+func (sh *pshard) fail(m pmsg, err error) {
+	sh.mu.Lock()
+	if !sh.failed {
+		sh.failed = true
+		sh.failErr = err
+		if m.kind == pmsgProbe {
+			sh.failSeq = m.seq
+		} else {
+			sh.failImmediate = true
+		}
+	}
+	sh.cond.Broadcast()
+	sh.mu.Unlock()
+}
+
+// stop shuts the workers down; call after a final quiesce. Idempotent:
+// Finish and a supervisor's Abandon may both reach it when a flush panics
+// halfway through the teardown.
 func (sh *pshard) stop() {
+	if sh.stopped {
+		return
+	}
+	sh.stopped = true
 	for _, w := range sh.workers {
 		close(w.ch)
 	}
@@ -815,37 +951,61 @@ func (sh *pshard) stop() {
 // run is the worker loop: FIFO over messages, one stage step per message.
 // Completed probes land in the reorder buffer with their (possibly empty)
 // output lists; the empty entry is what tells the router the sequence
-// number is done.
+// number is done. A panic inside a step is contained by step's recover: the
+// worker flips into drain mode — it keeps acking barriers (so the driver's
+// insertBarrier never hangs on a dead worker) and discards everything else,
+// while the recorded failure surfaces on the driver thread in release.
 func (w *pworker) run() {
 	defer close(w.done)
-	s := w.sh.stage
-	scratch := make([]*stream.Tuple, s.tree.m)
 	for m := range w.ch {
-		switch m.kind {
-		case pmsgProbe:
-			side := int(m.side)
-			opp := w.win[1-side]
-			opp.expire(m.ev.ts)
-			var outs []*event
-			for _, cand := range s.stageCandidates(opp, m.ev.key) {
-				if cand.deadline < m.ev.ts {
-					continue
-				}
-				if s.matchesInto(m.ev, cand, side, scratch) {
-					outs = append(outs, s.combine(m.ev, cand, side))
-				}
+		if m.kind == pmsgBarrier {
+			w.sh.wg.Done()
+			continue
+		}
+		if w.failed {
+			continue
+		}
+		w.step(m)
+	}
+}
+
+// step processes one probe or insert message, converting a panic — injected
+// or genuine — into a recorded typed failure instead of crashing the
+// process.
+func (w *pworker) step(m pmsg) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.failed = true
+			w.sh.fail(m, &fault.WorkerError{Worker: w.id, Cause: fault.AsError(r)})
+		}
+	}()
+	s := w.sh.stage
+	switch m.kind {
+	case pmsgProbe:
+		s.tree.inject.MaybeDelay(w.id)
+		s.tree.inject.MaybePanic(w.id)
+		side := int(m.side)
+		opp := w.win[1-side]
+		opp.expire(m.ev.ts)
+		var outs []*event
+		for _, cand := range s.stageCandidates(opp, m.ev.key) {
+			if cand.deadline < m.ev.ts {
+				continue
 			}
+			if s.matchesInto(m.ev, cand, side, w.scratch) {
+				outs = append(outs, s.combine(m.ev, cand, side))
+			}
+		}
+		w.win[side].insert(m.ev)
+		w.sh.mu.Lock()
+		w.sh.ready[m.seq] = outs
+		w.sh.cond.Broadcast()
+		w.sh.mu.Unlock()
+	default: // pmsgInsert
+		side := int(m.side)
+		w.win[side].expire(m.wm)
+		if m.ev.deadline >= m.wm {
 			w.win[side].insert(m.ev)
-			w.sh.mu.Lock()
-			w.sh.ready[m.seq] = outs
-			w.sh.cond.Broadcast()
-			w.sh.mu.Unlock()
-		default: // pmsgInsert
-			side := int(m.side)
-			w.win[side].expire(m.wm)
-			if m.ev.deadline >= m.wm {
-				w.win[side].insert(m.ev)
-			}
 		}
 	}
 }

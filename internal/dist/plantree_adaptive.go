@@ -88,6 +88,14 @@ func (a *AdaptivePlanTree) Push(e *stream.Tuple) {
 		a.t.SyncBarrier()
 		ks := a.loop.DecideAt(at, a.t.Watermark())
 		a.apply(ks)
+		// Applying a smaller K releases buffered tuples into the tree, so
+		// the pipeline is no longer empty after apply. Barrier again: the
+		// boundary must be a fully quiesced point, so that a checkpoint
+		// captured here (State quiesces) observes exactly the state every
+		// uninterrupted run has — otherwise the capture's early probe
+		// release would perturb the parent-side interleaving of the
+		// continuing run (DESIGN.md §10).
+		a.t.SyncBarrier()
 		if a.cfg.OnDecide != nil {
 			a.cfg.OnDecide(at, ks)
 		}
@@ -123,3 +131,41 @@ func (a *AdaptivePlanTree) Loop() *feedback.Loop { return a.loop }
 // BufferedDelaySum returns the aggregate buffered delay the run paid; see
 // AdaptiveTree.BufferedDelaySum.
 func (a *AdaptivePlanTree) BufferedDelaySum() float64 { return a.sumBufK }
+
+// BufferedTuples returns the leaf-buffer occupancy (see
+// PlanTree.BufferedTuples).
+func (a *AdaptivePlanTree) BufferedTuples() int { return a.t.BufferedTuples() }
+
+// ShedWorst evicts the buffered tuple with the lowest root-scope
+// productivity score and accounts the drop with the feedback loop, so the
+// run-level recall estimate reflects it. The root scope is the accounting
+// layer for sheds wherever they happen: a tuple dropped at any leaf never
+// reaches the root, and the root profiler's delay-productivity means are
+// what estimate the complete results it would have contributed. Ties break
+// toward the largest delay, then the first buffer position — deterministic,
+// so shed decisions replay identically after a restore. Returns false when
+// nothing is buffered.
+func (a *AdaptivePlanTree) ShedWorst() bool {
+	root := len(a.t.stages) - 1
+	bi, bj := -1, -1
+	var worstScore float64
+	var worstDelay stream.Time
+	for i, lf := range a.t.leaves {
+		for j, e := range lf.ks.Items() {
+			s := a.loop.Score(root, e.Delay)
+			if bi < 0 || s < worstScore || (s == worstScore && e.Delay > worstDelay) {
+				bi, bj, worstScore, worstDelay = i, j, s, e.Delay
+			}
+		}
+	}
+	if bi < 0 {
+		return false
+	}
+	e := a.t.leaves[bi].ks.EvictAt(bj)
+	a.loop.RecordShed(root, e.Delay)
+	return true
+}
+
+// RecallEstimate exposes the loop's run-level recall estimate (produced
+// over estimated-true results, shed losses included).
+func (a *AdaptivePlanTree) RecallEstimate() float64 { return a.loop.RecallEstimate() }

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"fmt"
+	"repro/internal/leakcheck"
 	"strings"
 	"testing"
 
@@ -87,6 +88,7 @@ func branch(l, r *Shape) *Shape    { return &Shape{Left: l, Right: r} }
 // spine reproduces the flat reference multiset, including band and generic
 // predicates.
 func TestPlanTreeSpineAgreesWithMJoin(t *testing.T) {
+	leakcheck.Check(t)
 	conds := map[string]func() *join.Condition{
 		"equichain": func() *join.Condition { return join.EquiChain(3, 0) },
 		"band+equi": func() *join.Condition {
@@ -112,6 +114,7 @@ func TestPlanTreeSpineAgreesWithMJoin(t *testing.T) {
 // TestPlanTreeBushyAgreesWithMJoin: bushy shapes — both sides of the root
 // stage are sub-plans — reproduce the flat reference multiset.
 func TestPlanTreeBushyAgreesWithMJoin(t *testing.T) {
+	leakcheck.Check(t)
 	in := workload(4, 500, 7, 8)
 	maxD, _ := in.MaxDelay()
 	w := []stream.Time{800, 800, 800, 800}
@@ -144,6 +147,7 @@ func TestPlanTreeBushyAgreesWithMJoin(t *testing.T) {
 // including every stage of a star condition that has NO full key class —
 // must not change the result multiset, at any shard count.
 func TestPlanTreeStageShardedAgreesWithMJoin(t *testing.T) {
+	leakcheck.Check(t)
 	in := workload(4, 600, 13, 10)
 	maxD, _ := in.MaxDelay()
 	w := []stream.Time{800, 800, 800, 800}
@@ -166,6 +170,7 @@ func TestPlanTreeStageShardedAgreesWithMJoin(t *testing.T) {
 // TestPlanTreeBandShardedStage: a band-keyed stage partitions by range
 // cells with ±eps replica inserts; results must match the flat reference.
 func TestPlanTreeBandShardedStage(t *testing.T) {
+	leakcheck.Check(t)
 	in := workload(2, 900, 19, 30)
 	maxD, _ := in.MaxDelay()
 	w := []stream.Time{600, 600}
@@ -180,6 +185,7 @@ func TestPlanTreeBandShardedStage(t *testing.T) {
 // TestPlanTreeShardUnkeyedPanics: sharding a stage whose cross predicates
 // carry no equi/band key must fail loudly, not silently broadcast.
 func TestPlanTreeShardUnkeyedPanics(t *testing.T) {
+	leakcheck.Check(t)
 	cond := join.Cross(2).Where([]int{0, 1}, func([]*stream.Tuple) bool { return true })
 	defer func() {
 		if recover() == nil {
@@ -191,6 +197,7 @@ func TestPlanTreeShardUnkeyedPanics(t *testing.T) {
 
 // TestPlanTreeShapeValidation: shapes must cover every stream exactly once.
 func TestPlanTreeShapeValidation(t *testing.T) {
+	leakcheck.Check(t)
 	w := []stream.Time{100, 100, 100}
 	for name, sh := range map[string]*Shape{
 		"duplicate": branch(branch(leaf(0), leaf(1)), leaf(1)),
@@ -209,6 +216,7 @@ func TestPlanTreeShapeValidation(t *testing.T) {
 
 // TestPlanTreeLifecyclePanics mirrors the Tree lifecycle conventions.
 func TestPlanTreeLifecyclePanics(t *testing.T) {
+	leakcheck.Check(t)
 	pt := NewPlanTree(join.EquiChain(2, 0), []stream.Time{100, 100}, Spine(2), 0, nil)
 	pt.Push(&stream.Tuple{TS: 1, Src: 0, Attrs: []float64{1}})
 	pt.Finish()
@@ -237,6 +245,7 @@ func TestPlanTreeLifecyclePanics(t *testing.T) {
 // slightly different late tuples, so it is not compared here (the full-K
 // differential tests pin unsharded == sharded == flat).
 func TestAdaptivePlanTreeDeterministicWithShards(t *testing.T) {
+	leakcheck.Check(t)
 	in := workload(3, 3000, 23, 40)
 	w := []stream.Time{stream.Second, stream.Second, stream.Second}
 	cond := func() *join.Condition { return join.EquiChain(3, 0) }
@@ -295,6 +304,7 @@ func TestAdaptivePlanTreeDeterministicWithShards(t *testing.T) {
 // shape the root stage governs no raw buffer; its scope weight is 0 and its
 // decided K stays pinned to 0 while the leaf stages adapt.
 func TestAdaptivePlanTreeWeightsSkipBufferlessStages(t *testing.T) {
+	leakcheck.Check(t)
 	in := workload(4, 2500, 29, 60)
 	w := []stream.Time{stream.Second, stream.Second, stream.Second, stream.Second}
 	bushy := branch(branch(leaf(0), leaf(1)), branch(leaf(2), leaf(3)))

@@ -1,0 +1,183 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/join"
+	"repro/internal/stream"
+)
+
+// treeCkpt is the gob envelope of the round-trip tests: the adaptive tree
+// state plus the tuple table it references.
+type treeCkpt struct {
+	Tuples []fault.TupleRec
+	State  AdaptiveTreeState
+}
+
+func treeGobRoundTrip(t *testing.T, st AdaptiveTreeState, tt *fault.TupleTable) (AdaptiveTreeState, *fault.TupleArena) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(treeCkpt{Tuples: tt.Recs, State: st}); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var out treeCkpt
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return out.State, fault.NewTupleArena(out.Tuples)
+}
+
+// treeTrace is everything the differential pins: result count, the full
+// K-decision trajectory, and the result multiset.
+type treeTrace struct {
+	results int64
+	ks      []string
+	set     map[string]int
+}
+
+func runTreeFull(in stream.Batch, cond *join.Condition, w []stream.Time, shape *Shape) treeTrace {
+	tr := treeTrace{set: map[string]int{}}
+	cfg := AdaptiveConfig{Adapt: testAdapt, PerStage: true,
+		OnDecide: func(at stream.Time, ks []stream.Time) {
+			tr.ks = append(tr.ks, fmt.Sprintf("%v:%v", at, ks))
+		}}
+	a := NewAdaptivePlanTree(cond, w, shape, cfg, func(p Partial) { tr.set[sig(p.Parts)]++ })
+	for _, e := range in.Clone() {
+		a.Push(e)
+	}
+	a.Finish()
+	tr.results = a.Results()
+	return tr
+}
+
+// runTreeInterrupted runs until the cutDecision-th adaptation boundary,
+// checkpoints there (through a real gob cycle), abandons the first tree as
+// a crash would, restores into a fresh tree and replays the remaining
+// input.
+func runTreeInterrupted(t *testing.T, in stream.Batch, mk func() *join.Condition, w []stream.Time, shape func() *Shape, cutDecision int) treeTrace {
+	t.Helper()
+	tr := treeTrace{set: map[string]int{}}
+	onDecide := func(at stream.Time, ks []stream.Time) {
+		tr.ks = append(tr.ks, fmt.Sprintf("%v:%v", at, ks))
+	}
+
+	var a *AdaptivePlanTree
+	var st AdaptiveTreeState
+	var ta *fault.TupleArena
+	captured := false
+	cfg := AdaptiveConfig{Adapt: testAdapt, PerStage: true,
+		OnDecide: func(at stream.Time, ks []stream.Time) {
+			onDecide(at, ks)
+			if len(tr.ks) == cutDecision {
+				tt := fault.NewTupleTable()
+				st, ta = treeGobRoundTrip(t, a.State(tt), tt)
+				captured = true
+			}
+		}}
+	a = NewAdaptivePlanTree(mk(), w, shape(), cfg, func(p Partial) { tr.set[sig(p.Parts)]++ })
+	work := in.Clone()
+	cut := -1
+	for i, e := range work {
+		a.Push(e)
+		if captured {
+			cut = i + 1
+			break
+		}
+	}
+	if cut < 0 {
+		t.Fatalf("cut decision %d never reached", cutDecision)
+	}
+	// Abandon the first tree mid-run (simulating a crash right after the
+	// boundary checkpoint); its shard workers still need to stop.
+	a.Abandon()
+
+	b := NewAdaptivePlanTree(mk(), w, shape(), AdaptiveConfig{Adapt: testAdapt, PerStage: true, OnDecide: onDecide}, func(p Partial) { tr.set[sig(p.Parts)]++ })
+	b.Restore(st, ta)
+	for _, e := range work[cut:] {
+		b.Push(e)
+	}
+	b.Finish()
+	tr.results = b.Results()
+	return tr
+}
+
+func diffTreeTraces(t *testing.T, name string, want, got treeTrace) {
+	t.Helper()
+	if got.results != want.results {
+		t.Errorf("%s: results %d, want %d", name, got.results, want.results)
+	}
+	if len(got.ks) != len(want.ks) {
+		t.Fatalf("%s: %d decisions, want %d", name, len(got.ks), len(want.ks))
+	}
+	for i := range want.ks {
+		if got.ks[i] != want.ks[i] {
+			t.Fatalf("%s: decision %d = %s, want %s", name, i, got.ks[i], want.ks[i])
+		}
+	}
+	diffMultisets(t, name, want.set, got.set)
+}
+
+// TestPlanTreeCheckpointRestoreDifferential: cutting an adaptive plan-tree
+// run at an adaptation boundary, serializing through gob, and resuming in a
+// fresh tree must reproduce the uninterrupted run bit-for-bit — result
+// multiset, result count, and the complete K-decision trajectory — on
+// unsharded trees and at every shard count, for equi- and band-keyed
+// stages.
+func TestPlanTreeCheckpointRestoreDifferential(t *testing.T) {
+	in := workload(3, 3000, 23, 40)
+	w := []stream.Time{stream.Second, stream.Second, stream.Second}
+	conds := map[string]func() *join.Condition{
+		"equichain": func() *join.Condition { return join.EquiChain(3, 0) },
+		"band+equi": func() *join.Condition {
+			return join.Cross(3).Equi(0, 0, 1, 0).Band(1, 1, 2, 1, 6)
+		},
+	}
+	shapeN := func(n int) func() *Shape {
+		return func() *Shape {
+			inner := branch(leaf(0), leaf(1))
+			outer := branch(inner, leaf(2))
+			if n > 1 {
+				inner.Shards = n
+				outer.Shards = n
+			}
+			return outer
+		}
+	}
+	for name, mk := range conds {
+		for _, shards := range []int{1, 2, 4, 8} {
+			for _, cutDec := range []int{3, 8} {
+				t.Run(fmt.Sprintf("%s/shards%d/cut%d", name, shards, cutDec), func(t *testing.T) {
+					want := runTreeFull(in, mk(), w, shapeN(shards)())
+					if want.results == 0 || len(want.ks) <= cutDec {
+						t.Fatal("degenerate workload for this cut")
+					}
+					got := runTreeInterrupted(t, in, mk, w, shapeN(shards), cutDec)
+					diffTreeTraces(t, "tree-ckpt", want, got)
+				})
+			}
+		}
+	}
+}
+
+// TestPlanTreeCheckpointRestoreBushy: the same differential on a bushy
+// 4-stream shape with a sharded leaf stage and a sharded root — the shape
+// whose root stage governs no raw buffer (its K stays pinned 0), and whose
+// checkpoint must carry two sub-plan window sets.
+func TestPlanTreeCheckpointRestoreBushy(t *testing.T) {
+	in := workload(4, 2500, 29, 60)
+	w := []stream.Time{stream.Second, stream.Second, stream.Second, stream.Second}
+	mk := func() *join.Condition { return join.EquiChain(4, 0) }
+	shape := func() *Shape {
+		return shard(4, branch(shard(2, branch(leaf(0), leaf(1))), branch(leaf(2), leaf(3))))
+	}
+	want := runTreeFull(in, mk(), w, shape())
+	if want.results == 0 || len(want.ks) <= 4 {
+		t.Fatal("degenerate workload")
+	}
+	got := runTreeInterrupted(t, in, mk, w, shape, 4)
+	diffTreeTraces(t, "bushy-ckpt", want, got)
+}

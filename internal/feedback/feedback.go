@@ -157,6 +157,14 @@ type Loop struct {
 	ks      []stream.Time
 	snaps   []*profiler.Snapshot // per-decision scratch
 	n       int64
+
+	// Cumulative recall accounting across the whole run (not windowed like
+	// the monitor): produced final results versus the summed per-interval
+	// true-size estimates. Their ratio is the run-level recall estimate that
+	// load shedding must keep honest — RecordShed feeds the root profiler,
+	// whose mean-charge raises cumTrue without raising cumProduced.
+	cumProduced int64
+	cumTrue     float64
 }
 
 // New assembles a loop from cfg.
@@ -221,6 +229,9 @@ func (l *Loop) Observe(e *stream.Tuple) stream.Time {
 // Result-Size Monitor.
 func (l *Loop) ObserveResult(ts stream.Time, n int64) {
 	l.mon.AddResults(ts, n)
+	if n > 0 {
+		l.cumProduced += n
+	}
 }
 
 // RecordInOrder feeds one in-order productivity record (delay annotation,
@@ -311,6 +322,7 @@ func (l *Loop) DecideAt(at, outT stream.Time) []stream.Time {
 	}
 	l.n++
 	l.mon.PushTrueEstimate(rootSnap.TrueResults())
+	l.cumTrue += rootSnap.TrueResults()
 	return l.ks
 }
 

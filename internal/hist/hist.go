@@ -60,6 +60,14 @@ func (h *Histogram) Remove(delay stream.Time) {
 // Total returns the number of recorded delays.
 func (h *Histogram) Total() int64 { return h.total }
 
+// Reset drops every recorded delay, keeping the granularity. Restore paths
+// rebuild the histogram from a serialized history through it.
+func (h *Histogram) Reset() {
+	clear(h.counts)
+	h.counts = h.counts[:0]
+	h.total = 0
+}
+
 // MaxBucket returns the highest non-empty bucket index, or -1 when empty.
 func (h *Histogram) MaxBucket() int {
 	for b := len(h.counts) - 1; b >= 0; b-- {

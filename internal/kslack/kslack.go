@@ -12,6 +12,9 @@
 package kslack
 
 import (
+	"sort"
+
+	"repro/internal/fault"
 	"repro/internal/pq"
 	"repro/internal/stream"
 )
@@ -32,6 +35,7 @@ type Buffer struct {
 
 	arrived  int64
 	released int64
+	shed     int64
 	maxDelay stream.Time
 }
 
@@ -68,9 +72,13 @@ func (b *Buffer) Len() int { return b.heap.Len() }
 func (b *Buffer) Arrived() int64 { return b.arrived }
 
 // Released returns the number of tuples emitted so far. At any point
-// Arrived() == Released() + Len(): the buffer never drops or duplicates a
-// tuple.
+// Arrived() == Released() + Shed() + Len(): the buffer never duplicates a
+// tuple, and it only ever drops one through an explicit EvictAt (load
+// shedding).
 func (b *Buffer) Released() int64 { return b.released }
+
+// Shed returns the number of tuples dropped through EvictAt.
+func (b *Buffer) Shed() int64 { return b.shed }
 
 // MaxDelay returns the maximum delay observed among arrived tuples.
 func (b *Buffer) MaxDelay() stream.Time { return b.maxDelay }
@@ -110,4 +118,64 @@ func (b *Buffer) pop() {
 	e := b.heap.Pop()
 	b.released++
 	b.emit(e)
+}
+
+// Items exposes the buffered tuples in heap order (not sorted). Read-only;
+// valid until the next Push/SetK/Flush/EvictAt. Load shedding scans it to
+// pick a victim.
+func (b *Buffer) Items() []*stream.Tuple { return b.heap.Items() }
+
+// EvictAt drops the buffered tuple at position i of Items() without
+// emitting it, counting it as shed. It returns the victim.
+func (b *Buffer) EvictAt(i int) *stream.Tuple {
+	e := b.heap.RemoveAt(i)
+	b.shed++
+	return e
+}
+
+// State is the serializable snapshot of a Buffer; see Checkpoint in
+// internal/plan.
+type State struct {
+	K        stream.Time
+	LocalT   stream.Time
+	Seen     bool
+	Arrived  int64
+	Released int64
+	Shed     int64
+	MaxDelay stream.Time
+	Buffered []int32 // tuple-table ids, canonical (TS, Seq) order
+}
+
+// State captures the buffer's state, registering buffered tuples in tt.
+func (b *Buffer) State(tt *fault.TupleTable) State {
+	items := b.heap.Items()
+	sorted := make([]*stream.Tuple, len(items))
+	copy(sorted, items)
+	sort.Slice(sorted, func(i, j int) bool { return stream.Less(sorted[i], sorted[j]) })
+	st := State{
+		K: b.k, LocalT: b.localT, Seen: b.seen,
+		Arrived: b.arrived, Released: b.released, Shed: b.shed, MaxDelay: b.maxDelay,
+		Buffered: make([]int32, len(sorted)),
+	}
+	for i, e := range sorted {
+		st.Buffered[i] = tt.ID(e)
+	}
+	return st
+}
+
+// Restore loads a captured state into a freshly constructed buffer (same
+// emit sink). Buffered tuples re-enter the heap without re-annotation or
+// release: the restored buffer holds exactly the checkpointed content.
+func (b *Buffer) Restore(st State, ta *fault.TupleArena) {
+	b.k = st.K
+	b.localT = st.LocalT
+	b.seen = st.Seen
+	b.arrived = st.Arrived
+	b.released = st.Released
+	b.shed = st.Shed
+	b.maxDelay = st.MaxDelay
+	b.heap.Reset()
+	for _, id := range st.Buffered {
+		b.heap.Push(ta.Tuple(id))
+	}
 }

@@ -95,3 +95,47 @@ func (m *Monitor) PushTrueEstimate(n float64) {
 // TrueEstimate returns N^on_true(P−L): the sum of the retained per-interval
 // estimates (Sec. IV-C).
 func (m *Monitor) TrueEstimate() float64 { return m.trueSum }
+
+// State is the serializable snapshot of a Monitor.
+type State struct {
+	PointTS []stream.Time // live result points, in append order
+	PointN  []int64
+	True    []float64 // retained estimates, oldest first
+}
+
+// State captures the monitor's state.
+func (m *Monitor) State() State {
+	st := State{}
+	for _, p := range m.points[m.head:] {
+		st.PointTS = append(st.PointTS, p.ts)
+		st.PointN = append(st.PointN, p.n)
+	}
+	n := len(m.trueRing)
+	for i := 0; i < n; i++ {
+		j := i
+		if n == m.trueCap {
+			j = (m.trueHead + i) % n
+		}
+		st.True = append(st.True, m.trueRing[j])
+	}
+	return st
+}
+
+// Restore loads a captured state into a freshly constructed monitor (same
+// span and interval count). The estimate ring re-enters oldest-first, which
+// reproduces both the filling and the saturated layouts.
+func (m *Monitor) Restore(st State) {
+	m.points = m.points[:0]
+	m.head = 0
+	m.produced = 0
+	for i := range st.PointTS {
+		m.points = append(m.points, resultPoint{ts: st.PointTS[i], n: st.PointN[i]})
+		m.produced += st.PointN[i]
+	}
+	m.trueRing = nil
+	m.trueHead = 0
+	m.trueSum = 0
+	for _, v := range st.True {
+		m.PushTrueEstimate(v)
+	}
+}

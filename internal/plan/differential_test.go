@@ -10,6 +10,7 @@ package plan
 import (
 	"fmt"
 	"math/rand"
+	"repro/internal/leakcheck"
 	"strings"
 	"testing"
 
@@ -82,6 +83,7 @@ func sameMultiset(t *testing.T, name string, want, got map[string]int) {
 // TestPlanDifferentialMixes: random equi/band/generic mixes across every
 // plannable shape vs the flat reference.
 func TestPlanDifferentialMixes(t *testing.T) {
+	leakcheck.Check(t)
 	conds := []struct {
 		name string
 		m    int
@@ -131,6 +133,7 @@ func TestPlanDifferentialMixes(t *testing.T) {
 // auto-planned x4 star (stage-wise sharded, no broadcast route) matches the
 // flat reference bit-for-bit.
 func TestStarAutoPlanDifferential(t *testing.T) {
+	leakcheck.Check(t)
 	mk := func() *join.Condition { return join.Star(4, []int{0, 1, 2}, []int{0, 0, 0}) }
 	in := mixWorkload(4, 1200, 99, 25)
 	maxD, _ := in.MaxDelay()

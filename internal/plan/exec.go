@@ -16,6 +16,7 @@ import (
 	"repro/internal/adapt"
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/fault"
 	"repro/internal/feedback"
 	"repro/internal/join"
 	"repro/internal/stats"
@@ -51,6 +52,9 @@ type ExecConfig struct {
 	OnAdapt func(core.AdaptEvent)
 	// BatchSize/QueueDepth tune the flat sharded runtime (0 = default).
 	BatchSize, QueueDepth int
+	// Inject optionally arms the deterministic fault injector on the built
+	// executor's workers (and, on worker-less shapes, its driver thread).
+	Inject *fault.Injector
 }
 
 // Executor is the one interface all deployment shapes execute behind.
@@ -116,6 +120,7 @@ func buildFlat(g *Graph, cfg ExecConfig, shards int) Executor {
 		EmitCounts: cfg.EmitCounts,
 		OnAdapt:    cfg.OnAdapt,
 		Sharding:   core.Sharding{Shards: shards, BatchSize: cfg.BatchSize, QueueDepth: cfg.QueueDepth},
+		Inject:     cfg.Inject,
 	})
 	return (*flatExec)(p)
 }
@@ -132,6 +137,9 @@ func (e *flatExec) AvgK() float64            { return e.p().AvgK() }
 func (e *flatExec) Adaptations() int64       { return e.p().Adaptations() }
 func (e *flatExec) SetEmit(f join.EmitFunc)  { e.p().SetEmit(f) }
 func (e *flatExec) Stats() *stats.Manager    { return e.p().Stats() }
+func (e *flatExec) BufferedTuples() int      { return e.p().BufferedTuples() }
+func (e *flatExec) ShedWorst() bool          { return e.p().ShedWorst() }
+func (e *flatExec) RecallEstimate() float64  { return e.p().RecallEstimate() }
 
 // distShape converts the plan nodes into the dist engine's shape
 // description. Flat nodes inside trees are not executable (the planner
@@ -165,6 +173,7 @@ func buildTree(g *Graph, cfg ExecConfig) Executor {
 	}
 	if cfg.Policy == PolicyStatic {
 		e.t = dist.NewPlanTree(g.Cond, g.Windows, shape, cfg.StaticK, sink)
+		e.t.SetInjector(cfg.Inject)
 		e.staticK = cfg.StaticK
 		return e
 	}
@@ -186,6 +195,7 @@ func buildTree(g *Graph, cfg ExecConfig) Executor {
 		acfg.OnDecide = e.onDecide
 	}
 	e.at = dist.NewAdaptivePlanTree(g.Cond, g.Windows, shape, acfg, sink)
+	e.at.SetInjector(cfg.Inject)
 	return e
 }
 
@@ -290,6 +300,24 @@ func (e *treeExec) BufferedDelaySum() float64 {
 		return 0
 	}
 	return e.at.BufferedDelaySum()
+}
+
+func (e *treeExec) BufferedTuples() int { return e.tree().BufferedTuples() }
+
+func (e *treeExec) ShedWorst() bool {
+	if e.at != nil {
+		return e.at.ShedWorst()
+	}
+	return e.t.ShedWorst()
+}
+
+// RecallEstimate reports the loop's run-level estimate; a static tree runs
+// no loop and no recall accounting, so it reports 1.
+func (e *treeExec) RecallEstimate() float64 {
+	if e.at == nil {
+		return 1
+	}
+	return e.at.RecallEstimate()
 }
 
 // ---- spine builders (the Sec. V executors qdhj.NewTreeJoin wraps) ----

@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"repro/internal/leakcheck"
 	"strings"
 	"testing"
 
@@ -22,6 +23,7 @@ func windows(m int) []stream.Time {
 // cross key, and NO broadcast route anywhere in the graph or its Explain
 // rendering.
 func TestAutoStarShardsEveryStage(t *testing.T) {
+	leakcheck.Check(t)
 	cond := join.Star(4, []int{0, 1, 2}, []int{0, 0, 0})
 	g := Auto(cond, windows(4), Hints{Shards: 4})
 
@@ -67,6 +69,7 @@ func TestAutoStarShardsEveryStage(t *testing.T) {
 // TestAutoFullKeyPrefersShardedFlat: with a key class covering every stream
 // the flat sharded operator wins (no intermediate materialization).
 func TestAutoFullKeyPrefersShardedFlat(t *testing.T) {
+	leakcheck.Check(t)
 	g := Auto(join.EquiChain(3, 0), windows(3), Hints{Shards: 4})
 	sh, ok := g.Root.(Shard)
 	if !ok {
@@ -83,6 +86,7 @@ func TestAutoFullKeyPrefersShardedFlat(t *testing.T) {
 // TestAutoGenericOnlyFallsBackToBroadcast: with no key class at any
 // granularity the broadcast flat shards remain the only option.
 func TestAutoGenericOnlyFallsBackToBroadcast(t *testing.T) {
+	leakcheck.Check(t)
 	cond := join.Cross(2).Where([]int{0, 1}, func(a []*stream.Tuple) bool {
 		return a[0].Attr(0) == a[1].Attr(0)
 	})
@@ -98,6 +102,7 @@ func TestAutoGenericOnlyFallsBackToBroadcast(t *testing.T) {
 
 // TestAutoUnshardedDefaultsToFlat: without hints the classic operator wins.
 func TestAutoUnshardedDefaultsToFlat(t *testing.T) {
+	leakcheck.Check(t)
 	g := Auto(join.EquiChain(3, 0), windows(3), Hints{})
 	if _, ok := g.Root.(Flat); !ok {
 		t.Fatalf("root = %T, want Flat", g.Root)
@@ -109,6 +114,7 @@ func TestAutoUnshardedDefaultsToFlat(t *testing.T) {
 // stage K regime). At σ = 1e-4 the chain's σ²-discounted deep partial is
 // tiny, so the spine wins the shape race.
 func TestAutoLowSelectivityPicksTree(t *testing.T) {
+	leakcheck.Check(t)
 	g := Auto(join.EquiChain(4, 0), windows(4), Hints{Selectivity: 1e-4})
 	if _, ok := g.Root.(Stage); !ok {
 		t.Fatalf("root = %T, want Stage", g.Root)
@@ -123,6 +129,7 @@ func TestAutoLowSelectivityPicksTree(t *testing.T) {
 // stages (2·n²σ) exactly when nσ > 1; with intermediates still inside the
 // raw-window budget (σ ≤ 2/n) the planner must pick the balanced split.
 func TestAutoBushyWhenSpineIntermediatesBlowUp(t *testing.T) {
+	leakcheck.Check(t)
 	g := Auto(join.EquiChain(4, 0), windows(4), Hints{Selectivity: 0.008})
 	st, ok := g.Root.(Stage)
 	if !ok {
@@ -139,6 +146,7 @@ func TestAutoBushyWhenSpineIntermediatesBlowUp(t *testing.T) {
 // TestAutoStarNeverBushy: star spokes share no predicate, so only spines
 // are valid shapes.
 func TestAutoStarNeverBushy(t *testing.T) {
+	leakcheck.Check(t)
 	cond := join.Star(4, []int{0, 1, 2}, []int{0, 0, 0})
 	g := Auto(cond, windows(4), Hints{Selectivity: 1e-4})
 	n := g.Root
@@ -156,6 +164,7 @@ func TestAutoStarNeverBushy(t *testing.T) {
 
 // TestStageRoute: equi preferred over band, normalized left-side-first.
 func TestStageRoute(t *testing.T) {
+	leakcheck.Check(t)
 	cond := join.Cross(3).Band(0, 1, 2, 1, 5).Equi(1, 0, 2, 0)
 	st := Stage{Left: Stage{Left: Leaf{0}, Right: Leaf{1}}, Right: Leaf{2}}
 	route, ok := StageRoute(cond, st)
@@ -178,6 +187,7 @@ func TestStageRoute(t *testing.T) {
 
 // TestParseSpec covers the named forms and the s-expression grammar.
 func TestParseSpec(t *testing.T) {
+	leakcheck.Check(t)
 	cond4 := func() *join.Condition { return join.EquiChain(4, 0) }
 	w := windows(4)
 
@@ -237,6 +247,7 @@ func TestParseSpec(t *testing.T) {
 
 // TestSpineShape: recognition of the natural-order spine.
 func TestSpineShape(t *testing.T) {
+	leakcheck.Check(t)
 	if !SpineShape(Spine(join.EquiChain(3, 0), windows(3))) {
 		t.Error("Spine() must be a spine")
 	}
@@ -249,6 +260,7 @@ func TestSpineShape(t *testing.T) {
 // TestExplainStable pins the essential Explain content for the sharded flat
 // shape (routes render key attrs and the broadcast note).
 func TestExplainStable(t *testing.T) {
+	leakcheck.Check(t)
 	cond := join.Star(4, []int{0, 1, 2}, []int{0, 0, 0})
 	out := ShardedFlat(cond, windows(4), 4).Explain()
 	if !strings.Contains(out, "+broadcast(") {

@@ -67,6 +67,22 @@ func (h *Heap[T]) Reset() {
 	h.items = h.items[:0]
 }
 
+// RemoveAt removes and returns the element at position i of the backing
+// slice (an index into Items()), restoring the heap invariant. O(log4 n).
+func (h *Heap[T]) RemoveAt(i int) T {
+	n := len(h.items) - 1
+	out := h.items[i]
+	h.items[i] = h.items[n]
+	var zero T
+	h.items[n] = zero
+	h.items = h.items[:n]
+	if i < n {
+		h.down(i)
+		h.up(i)
+	}
+	return out
+}
+
 func (h *Heap[T]) up(i int) {
 	for i > 0 {
 		p := (i - 1) >> 2

@@ -24,6 +24,7 @@ type Profiler struct {
 
 	mOn    map[int]int64
 	mCross map[int]int64
+	mN     map[int]int64 // in-order tuple count per coarse delay
 
 	maxOn    int64
 	maxCross int64
@@ -33,6 +34,10 @@ type Profiler struct {
 	// the current interval; their estimated contributions are folded into
 	// the maps at Snapshot time, once the interval's maxima are known.
 	pendingOOO []int
+	// pendingShed holds the coarse delays of load-shed tuples: dropped
+	// before reaching the join, their would-be contribution is mean-charged
+	// into the N^on_true estimate so the recall accounting sees the loss.
+	pendingShed []int
 }
 
 // New creates a profiler with delay coarsening granularity g (the K-search
@@ -45,6 +50,7 @@ func New(g stream.Time) *Profiler {
 		g:      g,
 		mOn:    map[int]int64{},
 		mCross: map[int]int64{},
+		mN:     map[int]int64{},
 	}
 }
 
@@ -61,6 +67,7 @@ func (p *Profiler) RecordInOrder(delay stream.Time, nCross, nOn int64) {
 	b := p.bucket(delay)
 	p.mOn[b] += nOn
 	p.mCross[b] += nCross
+	p.mN[b]++
 	if nOn > p.maxOn {
 		p.maxOn = nOn
 	}
@@ -74,6 +81,34 @@ func (p *Profiler) RecordInOrder(delay stream.Time, nCross, nOn int64) {
 // estimated at Snapshot time.
 func (p *Profiler) RecordOutOfOrder(delay stream.Time) {
 	p.pendingOOO = append(p.pendingOOO, p.bucket(delay))
+}
+
+// RecordShed accounts a load-shed tuple. Like out-of-order tuples it derived
+// no results, but unlike them it never will: its mean-charge enters only the
+// N^on_true estimate (recall accounting), never the Eq. (6) selectivity maps
+// — shedding must depress the recall estimate, not distort the K search.
+func (p *Profiler) RecordShed(delay stream.Time) {
+	p.pendingShed = append(p.pendingShed, p.bucket(delay))
+}
+
+// Score estimates the productivity of a tuple with the given delay: the
+// expected number of results an in-order tuple of that coarse delay derives,
+// based on the current interval's M^on accumulation. Buckets without samples
+// fall back to the interval mean. The load shedder drops minimum-Score
+// tuples first.
+func (p *Profiler) Score(delay stream.Time) float64 {
+	b := p.bucket(delay)
+	if n := p.mN[b]; n > 0 {
+		return float64(p.mOn[b]) / float64(n)
+	}
+	if p.inOrder == 0 {
+		return 0
+	}
+	var sumOn int64
+	for _, v := range p.mOn {
+		sumOn += v
+	}
+	return float64(sumOn) / float64(p.inOrder)
 }
 
 // InOrderCount returns the number of in-order tuples recorded this interval.
@@ -155,10 +190,15 @@ func (p *Profiler) Snapshot() *Snapshot {
 	}
 	s.trueOn = float64(sumOn)
 	s.trueCross = float64(sumCross)
-	if p.inOrder > 0 && len(p.pendingOOO) > 0 {
-		nOOO := float64(len(p.pendingOOO))
-		s.trueOn += nOOO * float64(sumOn) / float64(p.inOrder)
-		s.trueCross += nOOO * float64(sumCross) / float64(p.inOrder)
+	if p.inOrder > 0 {
+		// Out-of-order and load-shed tuples both derived nothing; both are
+		// mean-charged into the true-size estimate. The difference is that a
+		// shed tuple's loss is permanent, which is exactly why it must appear
+		// here: recall = produced / N^on_true then reflects the drop.
+		if lost := float64(len(p.pendingOOO) + len(p.pendingShed)); lost > 0 {
+			s.trueOn += lost * float64(sumOn) / float64(p.inOrder)
+			s.trueCross += lost * float64(sumCross) / float64(p.inOrder)
+		}
 	}
 	if s.maxDM >= 0 {
 		s.cumOn = make([]int64, s.maxDM+1)
@@ -178,9 +218,84 @@ func (p *Profiler) Snapshot() *Snapshot {
 func (p *Profiler) Reset() {
 	p.mOn = map[int]int64{}
 	p.mCross = map[int]int64{}
+	p.mN = map[int]int64{}
 	p.maxOn, p.maxCross = 0, 0
 	p.inOrder = 0
 	p.pendingOOO = p.pendingOOO[:0]
+	p.pendingShed = p.pendingShed[:0]
+}
+
+// State is the serializable snapshot of a Profiler mid-interval. Maps are
+// flattened to parallel key/value slices in ascending bucket order so the
+// serialized form is canonical.
+type State struct {
+	Buckets     []int // ascending; keys of the three maps' union
+	On          []int64
+	Cross       []int64
+	N           []int64
+	MaxOn       int64
+	MaxCross    int64
+	InOrder     int64
+	PendingOOO  []int
+	PendingShed []int
+}
+
+// State captures the profiler's mid-interval accumulation.
+func (p *Profiler) State() State {
+	keys := map[int]bool{}
+	for d := range p.mOn {
+		keys[d] = true
+	}
+	for d := range p.mCross {
+		keys[d] = true
+	}
+	for d := range p.mN {
+		keys[d] = true
+	}
+	st := State{
+		MaxOn: p.maxOn, MaxCross: p.maxCross, InOrder: p.inOrder,
+		PendingOOO:  append([]int(nil), p.pendingOOO...),
+		PendingShed: append([]int(nil), p.pendingShed...),
+	}
+	for d := range keys {
+		st.Buckets = append(st.Buckets, d)
+	}
+	sortInts(st.Buckets)
+	for _, d := range st.Buckets {
+		st.On = append(st.On, p.mOn[d])
+		st.Cross = append(st.Cross, p.mCross[d])
+		st.N = append(st.N, p.mN[d])
+	}
+	return st
+}
+
+// Restore loads a captured state into a freshly constructed profiler (same
+// granularity).
+func (p *Profiler) Restore(st State) {
+	p.Reset()
+	for i, d := range st.Buckets {
+		if st.On[i] != 0 {
+			p.mOn[d] = st.On[i]
+		}
+		if st.Cross[i] != 0 {
+			p.mCross[d] = st.Cross[i]
+		}
+		if st.N[i] != 0 {
+			p.mN[d] = st.N[i]
+		}
+	}
+	p.maxOn, p.maxCross = st.MaxOn, st.MaxCross
+	p.inOrder = st.InOrder
+	p.pendingOOO = append(p.pendingOOO, st.PendingOOO...)
+	p.pendingShed = append(p.pendingShed, st.PendingShed...)
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
 }
 
 // SelRatio estimates sel^on(K)/sel^on per Eq. (6): the selectivity over

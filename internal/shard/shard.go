@@ -40,6 +40,7 @@ package shard
 import (
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/index"
 	"repro/internal/join"
 	"repro/internal/stream"
@@ -67,6 +68,10 @@ type Config struct {
 	// pipeline feeds the Tuple-Productivity Profiler's out-of-order charge
 	// through it.
 	OnOutOfOrder func(delay stream.Time)
+	// Inject is the optional fault-injection harness; shard s consults
+	// directives armed for worker s at every probe step. Nil disables
+	// injection with no per-message cost beyond a nil check.
+	Inject *fault.Injector
 }
 
 // message kinds.
@@ -90,12 +95,14 @@ type msg struct {
 // (sync.WaitGroup provides the happens-before edges).
 type worker struct {
 	rt     *Runtime
+	id     int
 	ch     chan []msg
 	op     *join.Operator
 	curIdx int
 	onAcc  []int64 // onAcc[idx] = results derived by arrival idx in this shard
 	res    []stream.Result
 	resIdx []int // arrival index per buffered result; non-decreasing
+	failed bool  // worker-goroutine-local: set after a recovered panic
 	done   chan struct{}
 }
 
@@ -120,6 +127,9 @@ type Runtime struct {
 	pend    [][]msg
 	pool    sync.Pool
 	barrier sync.WaitGroup
+
+	failMu  sync.Mutex
+	failure error // first recovered worker panic, surfaced at the next quiesce
 
 	targets []int // scratch: shard set of the tuple being routed
 	ptr     []int // scratch: per-shard result cursor during merge
@@ -160,6 +170,7 @@ func New(cfg Config) *Runtime {
 	for s := range rt.workers {
 		w := &worker{
 			rt:   rt,
+			id:   s,
 			ch:   make(chan []msg, cfg.QueueDepth),
 			op:   join.New(cfg.Cond, cfg.Windows),
 			done: make(chan struct{}),
@@ -385,6 +396,13 @@ func (rt *Runtime) FlushInterval(
 	emit func(stream.Result),
 ) {
 	rt.drain()
+	// Surface a worker failure before emitting anything: the interval's
+	// results are incomplete (the failed shard stopped deriving), and an
+	// interval either emits entirely or not at all — the checkpoint/replay
+	// emit gate depends on that boundary alignment (DESIGN.md §10).
+	if err := rt.Err(); err != nil {
+		panic(err)
+	}
 	for s := range rt.ptr {
 		rt.ptr[s] = 0
 	}
@@ -444,27 +462,68 @@ func (rt *Runtime) Close() {
 }
 
 // run is the shard goroutine: FIFO over batches, one operator step per
-// message.
+// message. A panic in a step (injected or genuine) does not kill the
+// goroutine: the worker records the failure and switches to drain mode,
+// discarding further work but still acknowledging barriers so the driver's
+// quiesce protocol never deadlocks. The failure surfaces on the driver
+// thread at the next FlushInterval.
 func (w *worker) run() {
 	defer close(w.done)
 	for batch := range w.ch {
 		for i := range batch {
 			m := &batch[i]
-			switch m.kind {
-			case msgProbe:
-				w.curIdx = m.idx
-				if nOn := w.op.ProcessAt(m.e, m.wm); nOn != 0 {
-					w.add(m.idx, nOn)
-				}
-			case msgInsert:
-				w.op.InsertAt(m.e, m.wm)
-			default:
+			if m.kind == msgBarrier {
 				w.rt.barrier.Done()
+				continue
 			}
+			if w.failed {
+				continue
+			}
+			w.step(m)
 		}
 		clear(batch)
 		w.rt.pool.Put(batch[:0])
 	}
+}
+
+// step processes one probe/insert message, converting a panic into a
+// recorded typed failure.
+func (w *worker) step(m *msg) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.failed = true
+			w.rt.fail(&fault.WorkerError{Worker: w.id, Cause: fault.AsError(r)})
+		}
+	}()
+	switch m.kind {
+	case msgProbe:
+		w.rt.cfg.Inject.MaybeDelay(w.id)
+		w.rt.cfg.Inject.MaybePanic(w.id)
+		w.curIdx = m.idx
+		if nOn := w.op.ProcessAt(m.e, m.wm); nOn != 0 {
+			w.add(m.idx, nOn)
+		}
+	case msgInsert:
+		w.op.InsertAt(m.e, m.wm)
+	}
+}
+
+// fail records the first worker failure.
+func (rt *Runtime) fail(err error) {
+	rt.failMu.Lock()
+	if rt.failure == nil {
+		rt.failure = err
+	}
+	rt.failMu.Unlock()
+}
+
+// Err returns the first recorded worker failure, or nil. FlushInterval
+// panics with it on the driver thread; Err additionally lets tests and
+// diagnostics poll without a quiesce.
+func (rt *Runtime) Err() error {
+	rt.failMu.Lock()
+	defer rt.failMu.Unlock()
+	return rt.failure
 }
 
 // add accumulates a result count under arrival index idx.

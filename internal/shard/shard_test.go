@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"repro/internal/leakcheck"
 	"sort"
 	"testing"
 
@@ -151,6 +152,7 @@ func testConds(m int) map[string]func() *join.Condition {
 // productivity records, out-of-order charges and result multisets of the
 // sharded runtime equal a single operator's, for shard counts 1, 2, 4, 8.
 func TestShardedMatchesSingleOperator(t *testing.T) {
+	leakcheck.Check(t)
 	for _, m := range []int{2, 3} {
 		for name, mk := range testConds(m) {
 			for _, n := range []int{1, 2, 4, 8} {
@@ -216,6 +218,7 @@ func equalMultiset(a, b map[string]int) bool {
 // produce identical merged sequences (results in the same order), for
 // every mode — the merge is deterministic, not merely multiset-equal.
 func TestShardedDeterministicAcrossRuns(t *testing.T) {
+	leakcheck.Check(t)
 	for name, mk := range testConds(3) {
 		t.Run(name, func(t *testing.T) {
 			w := []stream.Time{150, 150, 150}
@@ -249,6 +252,7 @@ func TestShardedDeterministicAcrossRuns(t *testing.T) {
 // boundary to unrelated cells, silently dropping their result; the clamp
 // must saturate monotonically instead.
 func TestBandHugeKeySaturation(t *testing.T) {
+	leakcheck.Check(t)
 	mk := func() *join.Condition { return join.Cross(2).Band(0, 0, 1, 0, 1) }
 	w := []stream.Time{100, 100}
 	seq := []*stream.Tuple{
@@ -276,6 +280,7 @@ func TestBandHugeKeySaturation(t *testing.T) {
 // messages (band ±Δ replicas under key skew) must still expire its
 // windows; window cardinality is bounded by the logical window extent.
 func TestReplicaOnlyShardStaysBounded(t *testing.T) {
+	leakcheck.Check(t)
 	op := join.New(join.EquiChain(2, 0), []stream.Time{100, 100})
 	for i := 0; i < 5000; i++ {
 		wm := stream.Time(1000 + i)
@@ -288,6 +293,7 @@ func TestReplicaOnlyShardStaysBounded(t *testing.T) {
 
 // TestRouteAfterClosePanics: a sharded run cannot be restarted.
 func TestRouteAfterClosePanics(t *testing.T) {
+	leakcheck.Check(t)
 	rt := New(Config{N: 2, Cond: join.EquiChain(2, 0), Windows: []stream.Time{100, 100}})
 	rt.Route(&stream.Tuple{TS: 1, Attrs: []float64{1}})
 	rt.FlushInterval(nil, nil)
@@ -303,6 +309,7 @@ func TestRouteAfterClosePanics(t *testing.T) {
 // TestEnableMaterializeAfterStartPanics: installing a sink mid-run would
 // lose the results already counted on the fast path.
 func TestEnableMaterializeAfterStartPanics(t *testing.T) {
+	leakcheck.Check(t)
 	rt := New(Config{N: 2, Cond: join.EquiChain(2, 0), Windows: []stream.Time{100, 100}})
 	defer rt.Close()
 	rt.Route(&stream.Tuple{TS: 1, Attrs: []float64{1}})
@@ -317,6 +324,7 @@ func TestEnableMaterializeAfterStartPanics(t *testing.T) {
 // TestShardLoadsSpread sanity-checks that hash partitioning actually
 // spreads an equi workload over the shards.
 func TestShardLoadsSpread(t *testing.T) {
+	leakcheck.Check(t)
 	rng := rand.New(rand.NewSource(5))
 	rt := New(Config{N: 4, Cond: join.EquiChain(2, 0), Windows: []stream.Time{200, 200}})
 	for _, e := range genSeq(rng, 2, 4000, 200) {

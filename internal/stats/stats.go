@@ -159,6 +159,77 @@ func (m *Manager) evict(ss *streamStats) {
 	ss.hist.Remove(old.delay)
 }
 
+// StreamState is the serializable snapshot of one stream's statistics.
+type StreamState struct {
+	Delays   []stream.Time // live history entries, oldest first
+	Skews    []stream.Time
+	Adwin    *adwin.State // nil under a fixed history
+	LocalT   stream.Time
+	Seen     bool
+	Arrivals int64
+	FirstTS  stream.Time
+	MaxDelay stream.Time
+}
+
+// State is the serializable snapshot of the Manager.
+type State struct {
+	Streams []StreamState
+}
+
+// State captures the Manager's state. The histogram and skew sums are not
+// serialized: Restore rebuilds them from the history entries.
+func (m *Manager) State() State {
+	st := State{Streams: make([]StreamState, len(m.streams))}
+	for i, ss := range m.streams {
+		s := StreamState{
+			LocalT: ss.localT, Seen: ss.seen, Arrivals: ss.arrivals,
+			FirstTS: ss.firstTS, MaxDelay: ss.maxDelay,
+		}
+		for _, en := range ss.entries[ss.head:] {
+			s.Delays = append(s.Delays, en.delay)
+			s.Skews = append(s.Skews, en.skew)
+		}
+		if ss.ad != nil {
+			ad := ss.ad.State()
+			s.Adwin = &ad
+		}
+		st.Streams[i] = s
+	}
+	return st
+}
+
+// Restore loads a captured state into a freshly constructed Manager (same m,
+// granularity and options). Histories re-enter without re-trimming and
+// without feeding ADWIN — its native state is restored instead — so the
+// restored manager answers every query exactly as the checkpointed one did.
+func (m *Manager) Restore(st State) {
+	m.nSeen = 0
+	for i, s := range st.Streams {
+		ss := m.streams[i]
+		ss.localT = s.LocalT
+		ss.seen = s.Seen
+		ss.arrivals = s.Arrivals
+		ss.firstTS = s.FirstTS
+		ss.maxDelay = s.MaxDelay
+		if ss.seen {
+			m.nSeen++
+		}
+		ss.entries = ss.entries[:0]
+		ss.head = 0
+		ss.sumSkew = 0
+		ss.hist.Reset()
+		for j := range s.Delays {
+			en := entry{delay: s.Delays[j], skew: s.Skews[j]}
+			ss.entries = append(ss.entries, en)
+			ss.sumSkew += int64(en.skew)
+			ss.hist.Add(en.delay)
+		}
+		if ss.ad != nil && s.Adwin != nil {
+			ss.ad.Restore(*s.Adwin)
+		}
+	}
+}
+
 // Hist returns the delay histogram f_Di of stream i over R^stat_i.
 func (m *Manager) Hist(i int) *hist.Histogram { return m.streams[i].hist }
 

@@ -14,6 +14,9 @@
 package syncer
 
 import (
+	"sort"
+
+	"repro/internal/fault"
 	"repro/internal/pq"
 	"repro/internal/stream"
 )
@@ -96,6 +99,56 @@ func (s *Synchronizer) drain() {
 			s.counts[e.Src]--
 			s.emit(e)
 		}
+	}
+}
+
+// State is the serializable snapshot of a Synchronizer.
+type State struct {
+	TSync     stream.Time
+	Open      []bool
+	Immediate int64
+	Buffered  []int32 // tuple-table ids, canonical (TS, Seq) order
+}
+
+// State captures the synchronizer's state, registering buffered tuples in tt.
+func (s *Synchronizer) State(tt *fault.TupleTable) State {
+	items := s.heap.Items()
+	sorted := make([]*stream.Tuple, len(items))
+	copy(sorted, items)
+	sort.Slice(sorted, func(i, j int) bool { return stream.Less(sorted[i], sorted[j]) })
+	st := State{
+		TSync:     s.tsync,
+		Open:      append([]bool(nil), s.open...),
+		Immediate: s.immediate,
+		Buffered:  make([]int32, len(sorted)),
+	}
+	for i, e := range sorted {
+		st.Buffered[i] = tt.ID(e)
+	}
+	return st
+}
+
+// Restore loads a captured state into a freshly constructed synchronizer
+// (same m and emit sink). Per-stream counts are rebuilt from the buffered
+// tuples' Src fields.
+func (s *Synchronizer) Restore(st State, ta *fault.TupleArena) {
+	s.tsync = st.TSync
+	s.immediate = st.Immediate
+	s.nOpen = 0
+	for i := range s.open {
+		s.open[i] = st.Open[i]
+		if s.open[i] {
+			s.nOpen++
+		}
+		s.counts[i] = 0
+	}
+	s.heap.Reset()
+	s.buffered = 0
+	for _, id := range st.Buffered {
+		e := ta.Tuple(id)
+		s.heap.Push(e)
+		s.counts[e.Src]++
+		s.buffered++
 	}
 }
 

@@ -130,12 +130,14 @@ const (
 type JoinOption func(*joinOpts)
 
 type joinOpts struct {
-	emit     join.EmitFunc
-	counts   join.CountEmitFunc
-	onAdapt  func(AdaptEvent)
-	shards   int
-	plan     *Plan
-	autoPlan bool
+	emit       join.EmitFunc
+	counts     join.CountEmitFunc
+	onAdapt    func(AdaptEvent)
+	shards     int
+	plan       *Plan
+	autoPlan   bool
+	supervised bool
+	scf        plan.SuperviseConfig
 }
 
 // AdaptEvent reports one buffer-size adaptation step.
@@ -189,20 +191,22 @@ func WithShards(n int) JoinOption {
 // planned shape — including bushy trees and stage-wise sharding — under
 // WithPlan/WithAutoPlan.
 type Join struct {
-	ex plan.Executor
+	g   *plan.Graph
+	cfg plan.ExecConfig // as handed to the builder; user callbacks intact
+	ex  plan.Executor
+	// sup is the supervised runtime when WithSupervision (or an option that
+	// implies it) was given; nil on plain joins.
+	sup    *plan.Supervised
+	closed bool
 	// hasSink records whether a results sink is installed — by WithResults
 	// at construction or by a RunChannel call; RunChannel refuses to
 	// silently replace it.
 	hasSink bool
 }
 
-// NewJoin creates a join over len(windows) streams. windows[i] is the
-// sliding window extent W_i of stream i; cond.M must equal len(windows).
-func NewJoin(cond *Condition, windows []Time, opt Options, jopts ...JoinOption) *Join {
-	var jo joinOpts
-	for _, o := range jopts {
-		o(&jo)
-	}
+// execConfig maps the public Options (plus the option-provided callbacks)
+// onto the planner's executor config.
+func execConfig(opt Options, jo *joinOpts) plan.ExecConfig {
 	if opt.Gamma == 0 {
 		opt.Gamma = 0.95
 	}
@@ -231,7 +235,26 @@ func NewJoin(cond *Condition, windows []Time, opt Options, jopts ...JoinOption) 
 	default:
 		cfg.Policy = plan.PolicyModel
 	}
-	return &Join{ex: plan.Build(jo.graphFor(cond, windows), cfg), hasSink: jo.emit != nil}
+	return cfg
+}
+
+// NewJoin creates a join over len(windows) streams. windows[i] is the
+// sliding window extent W_i of stream i; cond.M must equal len(windows).
+func NewJoin(cond *Condition, windows []Time, opt Options, jopts ...JoinOption) *Join {
+	var jo joinOpts
+	for _, o := range jopts {
+		o(&jo)
+	}
+	cfg := execConfig(opt, &jo)
+	g := jo.graphFor(cond, windows)
+	j := &Join{g: g, cfg: cfg, hasSink: jo.emit != nil}
+	if jo.supervised {
+		j.sup = plan.NewSupervised(g, cfg, jo.scf)
+		j.ex = j.sup
+	} else {
+		j.ex = plan.Build(g, cfg)
+	}
+	return j
 }
 
 // Push feeds one arriving tuple. Tuples carry their source stream in
@@ -239,8 +262,12 @@ func NewJoin(cond *Condition, windows []Time, opt Options, jopts ...JoinOption) 
 func (j *Join) Push(t *Tuple) { j.ex.Push(t) }
 
 // Close flushes all buffers at end of input. The join must not be pushed to
-// afterwards.
-func (j *Join) Close() { j.ex.Finish() }
+// afterwards. On a supervised join whose retry budget is already spent,
+// Close is a no-op — check Err.
+func (j *Join) Close() {
+	j.closed = true
+	j.ex.Finish()
+}
 
 // Results returns the number of join results produced so far.
 func (j *Join) Results() int64 { return j.ex.Results() }

@@ -2,6 +2,7 @@ package qdhj
 
 import (
 	"fmt"
+	"repro/internal/leakcheck"
 	"strings"
 	"testing"
 
@@ -16,6 +17,7 @@ func windows4() []Time { return []Time{Second, Second, Second, Second} }
 // 4-way condition auto-plans to stage-wise sharding with no broadcast route
 // in the explained plan.
 func TestAutoPlanStarExplain(t *testing.T) {
+	leakcheck.Check(t)
 	p := AutoPlan(star4(), windows4(), PlanHints{Shards: 4})
 	out := Explain(p)
 	if strings.Contains(out, "broadcast") {
@@ -31,6 +33,7 @@ func TestAutoPlanStarExplain(t *testing.T) {
 // deployment produces the flat Join's result multiset bit-for-bit (full
 // buffering, so disorder is covered).
 func TestJoinWithPlanDifferential(t *testing.T) {
+	leakcheck.Check(t)
 	in := gen.SparseStar4(1500, 7, 40, [4]Time{800, 800, 800, 800})
 	maxD, _ := in.MaxDelay()
 	opt := Options{Policy: StaticSlack, StaticK: maxD}
@@ -78,6 +81,7 @@ func TestJoinWithPlanDifferential(t *testing.T) {
 // TestJoinTreePlanAdaptive: an adaptive tree-shaped Join exposes per-stage
 // Ks and a sane snapshot through the flat Join API.
 func TestJoinTreePlanAdaptive(t *testing.T) {
+	leakcheck.Check(t)
 	in := gen.SparseEqui3(4000, 11, 300, [3]Time{150, 150, 2500})
 	cond := EquiChain(3, 0)
 	p, err := ParsePlan("tree-shard:2", cond, []Time{2 * Second, 2 * Second, 2 * Second}, 0)
@@ -114,6 +118,7 @@ func TestJoinTreePlanAdaptive(t *testing.T) {
 // TestSnapshotMatchesDeprecatedStats: the read-only snapshot reports the
 // same numbers as the deprecated raw accessor.
 func TestSnapshotMatchesDeprecatedStats(t *testing.T) {
+	leakcheck.Check(t)
 	in := gen.SparseEqui3(1500, 3, 100, [3]Time{500, 500, 500})
 	j := NewJoin(EquiChain(3, 0), []Time{Second, Second, Second}, Options{})
 	for _, e := range in {
@@ -136,6 +141,7 @@ func TestSnapshotMatchesDeprecatedStats(t *testing.T) {
 // TestWithPlanMismatchPanics: a plan built for a different condition value
 // must be rejected, not silently miscompiled.
 func TestWithPlanMismatchPanics(t *testing.T) {
+	leakcheck.Check(t)
 	p := AutoPlan(EquiChain(2, 0), []Time{Second, Second}, PlanHints{})
 	defer func() {
 		if recover() == nil {

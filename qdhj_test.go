@@ -2,6 +2,7 @@ package qdhj
 
 import (
 	"math/rand"
+	"repro/internal/leakcheck"
 	"testing"
 
 	"repro/internal/oracle"
@@ -30,6 +31,7 @@ func feed(n int, seed int64) []*Tuple {
 }
 
 func TestJoinPolicies(t *testing.T) {
+	leakcheck.Check(t)
 	in := feed(3000, 1)
 	w := []Time{Second, Second}
 	truth := oracle.TrueResults(EquiChain(2, 0), []stream.Time{Second, Second}, cloneBatch(in))
@@ -60,6 +62,7 @@ func TestJoinPolicies(t *testing.T) {
 }
 
 func TestJoinLatencyOrdering(t *testing.T) {
+	leakcheck.Check(t)
 	in := feed(4000, 2)
 	w := []Time{Second, Second}
 
@@ -80,6 +83,7 @@ func TestJoinLatencyOrdering(t *testing.T) {
 }
 
 func TestStaticSlackAppliesImmediately(t *testing.T) {
+	leakcheck.Check(t)
 	j := NewJoin(EquiChain(2, 0), []Time{Second, Second},
 		Options{Policy: StaticSlack, StaticK: 500})
 	if j.CurrentK() != 500 {
@@ -88,6 +92,7 @@ func TestStaticSlackAppliesImmediately(t *testing.T) {
 }
 
 func TestWithResultsSink(t *testing.T) {
+	leakcheck.Check(t)
 	var got []Result
 	j := NewJoin(EquiChain(2, 0), []Time{Second, Second},
 		Options{Policy: StaticSlack, StaticK: 2 * Second},
@@ -105,6 +110,7 @@ func TestWithResultsSink(t *testing.T) {
 }
 
 func TestWithResultCounts(t *testing.T) {
+	leakcheck.Check(t)
 	var n int64
 	j := NewJoin(EquiChain(2, 0), []Time{Second, Second},
 		Options{Policy: StaticSlack, StaticK: 2 * Second},
@@ -123,6 +129,7 @@ func TestWithResultCounts(t *testing.T) {
 }
 
 func TestRunChannel(t *testing.T) {
+	leakcheck.Check(t)
 	j := NewJoin(EquiChain(2, 0), []Time{Second, Second},
 		Options{Policy: StaticSlack, StaticK: 2 * Second})
 	in := make(chan *Tuple, 16)
@@ -148,6 +155,7 @@ func TestRunChannel(t *testing.T) {
 // TestRunChannelPanicsOnWithResults: RunChannel must refuse to silently
 // replace a sink installed at construction time (documented behavior).
 func TestRunChannelPanicsOnWithResults(t *testing.T) {
+	leakcheck.Check(t)
 	j := NewJoin(EquiChain(2, 0), []Time{Second, Second},
 		Options{Policy: StaticSlack, StaticK: Second},
 		WithResults(func(Result) {}),
@@ -163,6 +171,7 @@ func TestRunChannelPanicsOnWithResults(t *testing.T) {
 // TestRunChannelPanicsOnSecondCall: a second RunChannel would silently
 // steal the first channel's emit callback; it must panic instead.
 func TestRunChannelPanicsOnSecondCall(t *testing.T) {
+	leakcheck.Check(t)
 	j := NewJoin(EquiChain(2, 0), []Time{Second, Second},
 		Options{Policy: StaticSlack, StaticK: Second})
 	in := make(chan *Tuple)
@@ -182,6 +191,7 @@ func TestRunChannelPanicsOnSecondCall(t *testing.T) {
 // buffer flush (tuples still sitting in K-slack when the input closes) must
 // be delivered on the output channel before it closes.
 func TestRunChannelFlushOrdering(t *testing.T) {
+	leakcheck.Check(t)
 	// A large static K keeps both matching tuples buffered in K-slack until
 	// Close-time Flush: no result can be produced before the input closes.
 	j := NewJoin(EquiChain(2, 0), []Time{Second, Second},
@@ -207,6 +217,7 @@ func TestRunChannelFlushOrdering(t *testing.T) {
 }
 
 func TestTreeJoinAgreesWithJoin(t *testing.T) {
+	leakcheck.Check(t)
 	in := feed(1500, 5)
 	w := []Time{Second, Second}
 	maxD, _ := stream.Batch(in).MaxDelay()
@@ -229,6 +240,7 @@ func TestTreeJoinAgreesWithJoin(t *testing.T) {
 }
 
 func TestAdaptHookFires(t *testing.T) {
+	leakcheck.Check(t)
 	var events int
 	j := NewJoin(EquiChain(2, 0), []Time{Second, Second},
 		Options{Gamma: 0.9, Period: 5 * Second, Interval: Second},
@@ -247,6 +259,7 @@ func TestAdaptHookFires(t *testing.T) {
 }
 
 func TestStatsExposed(t *testing.T) {
+	leakcheck.Check(t)
 	j := NewJoin(EquiChain(2, 0), []Time{Second, Second}, Options{})
 	j.Push(&Tuple{TS: 1000, Src: 0})
 	j.Push(&Tuple{TS: 900, Src: 0})
@@ -258,6 +271,7 @@ func TestStatsExposed(t *testing.T) {
 // TestWithShardsMatchesSingleThreaded: the public sharded path reproduces
 // the single-threaded results and adaptation trajectory exactly.
 func TestWithShardsMatchesSingleThreaded(t *testing.T) {
+	leakcheck.Check(t)
 	in := feed(3000, 9)
 	w := []Time{Second, Second}
 	opt := Options{Gamma: 0.9, Period: 10 * Second}
@@ -284,6 +298,7 @@ func TestWithShardsMatchesSingleThreaded(t *testing.T) {
 // TestRunChannelSharded: the channel runner works on the sharded path and
 // delivers the complete result set (in interval batches) before closing.
 func TestRunChannelSharded(t *testing.T) {
+	leakcheck.Check(t)
 	mk := func(opts ...JoinOption) *Join {
 		return NewJoin(EquiChain(2, 0), []Time{Second, Second},
 			Options{Policy: StaticSlack, StaticK: 2 * Second}, opts...)
@@ -316,6 +331,7 @@ func TestRunChannelSharded(t *testing.T) {
 // TestPushAfterClosePanics: a closed join cannot be restarted; pushing
 // must fail loudly instead of silently dropping the tuple.
 func TestPushAfterClosePanics(t *testing.T) {
+	leakcheck.Check(t)
 	for _, opts := range [][]JoinOption{nil, {WithShards(2)}} {
 		j := NewJoin(EquiChain(2, 0), []Time{Second, Second}, Options{}, opts...)
 		j.Push(&Tuple{TS: 1000, Src: 0, Attrs: []float64{1}})
@@ -335,8 +351,10 @@ func TestPushAfterClosePanics(t *testing.T) {
 // condition already compiled into a join would silently diverge the
 // executors from Matches.
 func TestConditionMutationAfterNewJoinPanics(t *testing.T) {
+	leakcheck.Check(t)
 	cond := EquiChain(2, 0)
-	_ = NewJoin(cond, []Time{Second, Second}, Options{}, WithShards(2))
+	j := NewJoin(cond, []Time{Second, Second}, Options{}, WithShards(2))
+	defer j.Close()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("mutating a compiled condition must panic")

@@ -1,6 +1,7 @@
 package qdhj
 
 import (
+	"repro/internal/leakcheck"
 	"testing"
 
 	"repro/internal/gen"
@@ -25,6 +26,7 @@ func mustPanicT(t *testing.T, name string, f func()) {
 // double-Close exactly like Join (DESIGN.md §3 conventions), in both the
 // static and the adaptive configuration.
 func TestTreeJoinLifecycleParity(t *testing.T) {
+	leakcheck.Check(t)
 	w := []Time{Second, Second}
 	for _, tc := range []struct {
 		name string
@@ -45,6 +47,7 @@ func TestTreeJoinLifecycleParity(t *testing.T) {
 
 // TestPipelinedTreeJoinLifecycleParity: same for the pipelined variant.
 func TestPipelinedTreeJoinLifecycleParity(t *testing.T) {
+	leakcheck.Check(t)
 	w := []Time{Second, Second}
 	for _, tc := range []struct {
 		name string
@@ -75,6 +78,7 @@ func TestPipelinedTreeJoinLifecycleParity(t *testing.T) {
 // on asymmetric-delay inputs the stage Ks diverge and the total buffered
 // delay undercuts Same-K adaptation, at equal-or-better recall.
 func TestWithPerStageKDiverges(t *testing.T) {
+	leakcheck.Check(t)
 	in := feed3(4000, 9, [3]Time{100, 100, 2500})
 	w := []Time{2 * Second, 2 * Second, 2 * Second}
 	opt := Options{Gamma: 0.9, Period: 10 * Second, Interval: Second}
@@ -115,6 +119,7 @@ func TestWithPerStageKDiverges(t *testing.T) {
 // TestTreeDecideHookFires: the decide hook observes every adaptation step
 // with one K per scope.
 func TestTreeDecideHookFires(t *testing.T) {
+	leakcheck.Check(t)
 	in := feed3(2000, 4, [3]Time{1500, 1500, 1500})
 	w := []Time{Second, Second, Second}
 	var steps int
@@ -144,6 +149,7 @@ func TestTreeDecideHookFires(t *testing.T) {
 // TestStaticSlackTreeAdaptationPanics: WithTreeAdaptation(StaticSlack) is a
 // contradiction and must panic rather than silently running a no-op loop.
 func TestStaticSlackTreeAdaptationPanics(t *testing.T) {
+	leakcheck.Check(t)
 	mustPanicT(t, "StaticSlack tree adaptation", func() {
 		NewTreeJoin(EquiChain(2, 0), []Time{Second, Second}, 0, nil,
 			WithTreeAdaptation(Options{Policy: StaticSlack, StaticK: Second}))
@@ -154,6 +160,7 @@ func TestStaticSlackTreeAdaptationPanics(t *testing.T) {
 // would never fire; both constructors must reject it instead of silently
 // dropping it.
 func TestDecideHookWithoutAdaptationPanics(t *testing.T) {
+	leakcheck.Check(t)
 	hook := WithTreeDecideHook(func(Time, []Time) {})
 	mustPanicT(t, "TreeJoin hook without adaptation", func() {
 		NewTreeJoin(EquiChain(2, 0), []Time{Second, Second}, 0, nil, hook)
