@@ -144,27 +144,41 @@ func parseShards(s string) []int {
 // FaultOp "recovery" injects deterministic worker panics and records the
 // restarts and the wall time spent inside checkpoint-restore-replay
 // recoveries.
+// Mode "replan" entries (schema v4) sweep the online re-planner on the
+// phase-flipping star workload: Migrations counts completed live plan
+// migrations, PauseTotalSec/PauseMaxSec the wall-clock stalls they imposed
+// on the driver (the acceptance bound is PauseMaxSec well under one
+// measurement period — the re-planning cadence, recorded as
+// ReplanPeriodSec in stream seconds), and PhaseRecall the per-phase result
+// counts relative to the uninterrupted full-buffering flat reference
+// (shape "flat-static"). A full-buffering run under re-planning must score
+// exactly 1 in every phase: migration preserves the delivered multiset.
 type benchEntry struct {
-	Dataset        string  `json:"dataset"`
-	Mode           string  `json:"mode"`
-	Shards         int     `json:"shards,omitempty"`
-	Partition      string  `json:"partition,omitempty"`
-	TreeAdapt      string  `json:"tree_adapt,omitempty"`
-	Shape          string  `json:"shape,omitempty"`
-	FaultOp        string  `json:"fault_op,omitempty"`
-	Tuples         int     `json:"tuples"`
-	Results        int64   `json:"results"`
-	RelRecall      float64 `json:"rel_recall,omitempty"`
-	SumBufKSec     float64 `json:"sum_buf_k_sec,omitempty"`
-	Checkpoints    int64   `json:"checkpoints,omitempty"`
-	CkptOverhead   float64 `json:"ckpt_overhead,omitempty"`
-	SupOverhead    float64 `json:"sup_overhead,omitempty"`
-	Restarts       int     `json:"restarts,omitempty"`
-	RecoverySec    float64 `json:"recovery_sec,omitempty"`
-	Seconds        float64 `json:"seconds"`
-	TuplesPerSec   float64 `json:"tuples_per_s"`
-	AllocsPerTuple float64 `json:"allocs_per_tuple"`
-	BytesPerTuple  float64 `json:"bytes_per_tuple"`
+	Dataset         string    `json:"dataset"`
+	Mode            string    `json:"mode"`
+	Shards          int       `json:"shards,omitempty"`
+	Partition       string    `json:"partition,omitempty"`
+	TreeAdapt       string    `json:"tree_adapt,omitempty"`
+	Shape           string    `json:"shape,omitempty"`
+	FaultOp         string    `json:"fault_op,omitempty"`
+	Tuples          int       `json:"tuples"`
+	Results         int64     `json:"results"`
+	RelRecall       float64   `json:"rel_recall,omitempty"`
+	SumBufKSec      float64   `json:"sum_buf_k_sec,omitempty"`
+	Checkpoints     int64     `json:"checkpoints,omitempty"`
+	CkptOverhead    float64   `json:"ckpt_overhead,omitempty"`
+	SupOverhead     float64   `json:"sup_overhead,omitempty"`
+	Restarts        int       `json:"restarts,omitempty"`
+	RecoverySec     float64   `json:"recovery_sec,omitempty"`
+	Migrations      int       `json:"migrations,omitempty"`
+	PauseTotalSec   float64   `json:"pause_total_sec,omitempty"`
+	PauseMaxSec     float64   `json:"pause_max_sec,omitempty"`
+	ReplanPeriodSec float64   `json:"replan_period_sec,omitempty"`
+	PhaseRecall     []float64 `json:"phase_recall,omitempty"`
+	Seconds         float64   `json:"seconds"`
+	TuplesPerSec    float64   `json:"tuples_per_s"`
+	AllocsPerTuple  float64   `json:"allocs_per_tuple"`
+	BytesPerTuple   float64   `json:"bytes_per_tuple"`
 }
 
 // benchReport is the machine-readable throughput record.
@@ -232,6 +246,7 @@ func runBenchJSON(path string, minutes float64, seed int64, shardCounts []int, d
 	rep.Entries = append(rep.Entries, benchTree(minutes, seed)...)
 	rep.Entries = append(rep.Entries, benchPlanX4(minutes, seed, shardCounts)...)
 	rep.Entries = append(rep.Entries, benchFault(minutes, seed)...)
+	rep.Entries = append(rep.Entries, benchReplan(minutes, seed)...)
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -509,6 +524,127 @@ func benchFault(minutes float64, seed int64) []benchEntry {
 		out = append(out, rec)
 		fmt.Fprintf(os.Stderr, "%-22s fault/%-12s %-19s %9d tuples  %12.0f tuples/s  %d restarts  recovery %.3fs\n",
 			"tree-sparse-x3", spec, "recovery", rec.Tuples, rec.TuplesPerSec, rec.Restarts, rec.RecoverySec)
+	}
+	return out
+}
+
+// benchReplan sweeps the online re-planner on the phase-flipping star
+// workload: four phases alternating dense (domain 12) and sparse (domain
+// 600) keys, the regime boundary where the measured-stats cost model must
+// flip the live plan between the flat operator and the binary tree at each
+// phase change. "flat-static" is the uninterrupted full-buffering flat
+// reference every PhaseRecall is measured against; "replan-static" runs
+// the same full-buffering policy under WithOnlineReplan, so its recall
+// must be exactly 1 in every phase — the migrations are invisible in the
+// result stream; "replan-adaptive" runs the quality-driven policy
+// (Γ = 0.95) under re-planning, where recall tracks the buffer-shrinking
+// adaptation, not the migrations. Migration pause is wall time the driver
+// spent inside plan.Migrate; the acceptance bound is max pause ≤ one
+// measurement period.
+func benchReplan(minutes float64, seed int64) []benchEntry {
+	const phases = 4
+	ticks := int(minutes * float64(stream.Minute) / 10)
+	per := ticks / phases
+	if per < 1 {
+		per = 1
+	}
+	in := gen.PhaseFlipStar4(phases, per, seed, 12, 600, 200)
+	maxD, _ := in.MaxDelay()
+	w := []stream.Time{600, 600, 600, 600}
+	star := func() *join.Condition { return join.Star(4, []int{0, 1, 2}, []int{0, 0, 0}) }
+	phaseLen := stream.Time(per) * 10
+	phaseOf := func(ts stream.Time) int {
+		p := int((ts - 5001) / phaseLen)
+		if p < 0 {
+			p = 0
+		}
+		if p >= phases {
+			p = phases - 1
+		}
+		return p
+	}
+	replanPeriod := 5 * stream.Second
+
+	cfgs := []struct {
+		shape  string
+		opt    qdhj.Options
+		replan bool
+	}{
+		{"flat-static", qdhj.Options{Policy: qdhj.StaticSlack, StaticK: maxD}, false},
+		{"replan-static", qdhj.Options{Policy: qdhj.StaticSlack, StaticK: maxD}, true},
+		{"replan-adaptive", qdhj.Options{Gamma: 0.95, Period: 30 * qdhj.Second, Interval: qdhj.Second}, true},
+	}
+	var out []benchEntry
+	var ref []int64
+	for _, c := range cfgs {
+		feed := in.Clone()
+		counts := make([]int64, phases)
+		jopts := []qdhj.JoinOption{
+			qdhj.WithResults(func(r qdhj.Result) { counts[phaseOf(r.TS)]++ }),
+		}
+		var pauseTotal, pauseMax time.Duration
+		if c.replan {
+			jopts = append(jopts, qdhj.WithOnlineReplan(qdhj.ReplanOptions{
+				Period:      replanPeriod,
+				MinDwell:    2 * replanPeriod,
+				Improvement: 1.25,
+				OnMigrate: func(ev qdhj.MigrationEvent) {
+					pauseTotal += ev.Pause
+					if ev.Pause > pauseMax {
+						pauseMax = ev.Pause
+					}
+				},
+			}))
+		}
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		t0 := time.Now()
+		j := qdhj.NewJoin(star(), w, c.opt, jopts...)
+		for _, e := range feed {
+			j.Push(e)
+		}
+		j.Close()
+		dt := time.Since(t0).Seconds()
+		runtime.ReadMemStats(&m1)
+		n := len(feed)
+		e := benchEntry{
+			Dataset:        "flip-star-x4",
+			Mode:           "replan",
+			Shape:          c.shape,
+			Tuples:         n,
+			Results:        j.Results(),
+			Migrations:     j.Migrations(),
+			PauseTotalSec:  pauseTotal.Seconds(),
+			PauseMaxSec:    pauseMax.Seconds(),
+			Seconds:        dt,
+			TuplesPerSec:   float64(n) / dt,
+			AllocsPerTuple: float64(m1.Mallocs-m0.Mallocs) / float64(n),
+			BytesPerTuple:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(n),
+		}
+		if c.replan {
+			e.ReplanPeriodSec = float64(replanPeriod) / float64(stream.Second)
+		}
+		if c.shape == "flat-static" {
+			ref = counts
+		} else {
+			e.PhaseRecall = make([]float64, phases)
+			for p := range e.PhaseRecall {
+				if ref[p] > 0 {
+					e.PhaseRecall[p] = float64(counts[p]) / float64(ref[p])
+				}
+			}
+			if c.shape == "replan-static" {
+				for p, r := range e.PhaseRecall {
+					if r != 1 {
+						fmt.Fprintf(os.Stderr, "WARNING: replan-static recall %.6f in phase %d — migration must preserve the result multiset\n", r, p)
+					}
+				}
+			}
+		}
+		out = append(out, e)
+		fmt.Fprintf(os.Stderr, "%-22s replan/%-15s %8d tuples  %12.0f tuples/s  %d migrations  pause max %.1fms  recall %v\n",
+			"flip-star-x4", c.shape, n, e.TuplesPerSec, e.Migrations, 1000*e.PauseMaxSec, e.PhaseRecall)
 	}
 	return out
 }

@@ -17,7 +17,7 @@ import (
 
 func main() {
 	var (
-		dataset = flag.String("dataset", "x3", "dataset key: x2|x3|x4")
+		dataset = flag.String("dataset", "x3", "dataset key: x2|x3|x4|phaseflip")
 		minutes = flag.Float64("minutes", 5, "simulated stream horizon")
 		seed    = flag.Int64("seed", 42, "generator seed")
 		out     = flag.String("o", "", "output file (default stdout)")
@@ -33,8 +33,10 @@ func main() {
 		ds = gen.Synthetic3(gen.SynthConfig{Duration: dur, Seed: *seed})
 	case "x4":
 		ds = gen.Synthetic4(gen.SynthConfig{Duration: dur, Seed: *seed})
+	case "phaseflip":
+		ds = gen.PhaseFlip4(dur, *seed)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown dataset %q (want x2|x3|x4)\n", *dataset)
+		fmt.Fprintf(os.Stderr, "unknown dataset %q (want x2|x3|x4|phaseflip)\n", *dataset)
 		os.Exit(2)
 	}
 

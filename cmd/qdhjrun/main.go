@@ -23,6 +23,14 @@
 //
 //	qdhjrun -in d.csv -query x3 -plan shard:2 -checkpoint snap.bin
 //	qdhjrun -in d.csv -query x3 -plan shard:2 -restore snap.bin -inject panic@shard1:tuple5000
+//
+// Online re-planning: -replan measures arrival rates and selectivities on
+// the running join, re-plans every -replan-period, and live-migrates
+// between shapes; -explain-live additionally prints the plan graph before
+// and after every migration:
+//
+//	qdhjgen -dataset phaseflip -minutes 2 -o flip.csv
+//	qdhjrun -in flip.csv -query x4 -replan -replan-period 2 -explain-live
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	qdhj "repro"
 	"repro/internal/adapt"
@@ -61,6 +70,9 @@ func main() {
 		ckptAt    = flag.Int("checkpoint-at", 0, "arrival count to checkpoint at (default: half the feed)")
 		restore   = flag.String("restore", "", "resume from a snapshot written by -checkpoint (same dataset, query and plan)")
 		inject    = flag.String("inject", "", "deterministic fault spec, e.g. 'panic@shard1:tuple5000' or 'delay@shard0:tuple100:2ms,burst@tuple200:64'; implies supervision")
+		replan    = flag.Bool("replan", false, "online re-planning: measure rates and selectivities on the running join and live-migrate between shapes; starts from -plan (default flat)")
+		replanP   = flag.Float64("replan-period", 0, "re-planning measurement period (seconds; default: the -P measurement period)")
+		expLive   = flag.Bool("explain-live", false, "with -replan: print the plan graph before and after every live migration (implies -replan)")
 	)
 	flag.Parse()
 	if *explain {
@@ -120,16 +132,35 @@ func main() {
 	if ft.active() && (*tree || *pipelined) {
 		fatal(fmt.Errorf("-checkpoint/-restore/-inject run on the planned path; express the shape with -plan"))
 	}
+	if *expLive {
+		*replan = true
+	}
+	rp := replanOpts{on: *replan, explainLive: *expLive,
+		period: stream.Time(*replanP * float64(stream.Second))}
+	if rp.on {
+		if rp.period == 0 {
+			rp.period = acfg.P
+		}
+		if *tree || *pipelined {
+			fatal(fmt.Errorf("-replan runs on the planned path; express the starting shape with -plan"))
+		}
+		if ft.active() {
+			fatal(fmt.Errorf("-replan cannot be combined with -checkpoint/-restore/-inject: the supervised runtime pins one deployment shape"))
+		}
+	}
 
 	fmt.Fprintf(os.Stderr, "computing oracle ground truth...\n")
 	truth := oracle.TrueResults(ds.Cond, ds.Windows, ds.Arrivals)
 
-	if *planSpec != "" || *shards > 0 && !*tree && !*pipelined || ft.active() {
+	if *planSpec != "" || *shards > 0 && !*tree && !*pipelined || ft.active() || rp.on {
 		spec := *planSpec
 		if spec == "" {
 			spec = "auto"
+			if rp.on {
+				spec = "flat" // re-planning discovers the shape; start neutral
+			}
 		}
-		runPlanned(ds, truth, acfg, *policy, stream.Time(*staticK*float64(stream.Second)), spec, *shards, ft)
+		runPlanned(ds, truth, acfg, *policy, stream.Time(*staticK*float64(stream.Second)), spec, *shards, ft, rp)
 		return
 	}
 
@@ -335,13 +366,20 @@ func readSnapFile(path string) (int, *qdhj.Snapshot, error) {
 	return int(binary.BigEndian.Uint64(hdr[:])), snap, nil
 }
 
+// replanOpts carries the online re-planning flags of one run.
+type replanOpts struct {
+	on          bool
+	explainLive bool
+	period      stream.Time
+}
+
 // runPlanned replays the dataset through an explicitly planned deployment
 // (the NewJoin + WithPlan path) and reports recall against the oracle.
 // With -checkpoint it stops partway and writes a snapshot; with -restore it
 // resumes from one; with -inject it runs supervised under deterministic
-// fault injection.
+// fault injection; with -replan it re-plans online and live-migrates.
 func runPlanned(ds *gen.Dataset, truth *oracle.Index, acfg adapt.Config, policy string,
-	staticK stream.Time, spec string, shards int, ft ftOpts) {
+	staticK stream.Time, spec string, shards int, ft ftOpts, rp replanOpts) {
 	p, err := qdhj.ParsePlan(spec, ds.Cond, ds.Windows, shards)
 	if err != nil {
 		fatal(err)
@@ -366,6 +404,26 @@ func runPlanned(ds *gen.Dataset, truth *oracle.Index, acfg adapt.Config, policy 
 		fatal(fmt.Errorf("unknown policy %q for planned execution", policy))
 	}
 	jopts := []qdhj.JoinOption{qdhj.WithPlan(p)}
+	var migrations int
+	var totalPause, maxPause time.Duration
+	if rp.on {
+		jopts = append(jopts, qdhj.WithOnlineReplan(qdhj.ReplanOptions{
+			Hints:  qdhj.PlanHints{Shards: shards},
+			Period: rp.period,
+			OnMigrate: func(ev qdhj.MigrationEvent) {
+				migrations++
+				totalPause += ev.Pause
+				if ev.Pause > maxPause {
+					maxPause = ev.Pause
+				}
+				fmt.Fprintf(os.Stderr, "migrate: %s → %s at ts=%d (replayed %d, pause %v)\n",
+					ev.From, ev.To, ev.At, ev.Replayed, ev.Pause)
+				if rp.explainLive {
+					fmt.Fprintf(os.Stderr, "-- before --\n%s-- after --\n%s", ev.FromExplain, ev.ToExplain)
+				}
+			},
+		}))
+	}
 	if ft.inject != "" {
 		inj, err := qdhj.ParseInjectSpec(ft.inject)
 		if err != nil {
@@ -433,6 +491,10 @@ func runPlanned(ds *gen.Dataset, truth *oracle.Index, acfg adapt.Config, policy 
 		j.Results(), truth.Total(), recall)
 	if n := j.Restarts(); n > 0 {
 		fmt.Printf("restarts:       %d (all recovered)\n", n)
+	}
+	if rp.on {
+		fmt.Printf("migrations:     %d (total pause %v, max %v)\n", migrations, totalPause, maxPause)
+		fmt.Printf("final plan:     %s", qdhj.Explain(j.CurrentPlan()))
 	}
 	if ks := j.CurrentKs(); len(ks) > 0 && opt.Policy != qdhj.StaticSlack {
 		fmt.Printf("final Ks:       %v (max %v)\n", ks, j.CurrentK())

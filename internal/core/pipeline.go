@@ -311,6 +311,30 @@ func (p *Pipeline) Pushed() int64 { return p.pushed }
 // CurrentK returns the buffer size currently applied.
 func (p *Pipeline) CurrentK() stream.Time { return p.curK }
 
+// Quiesce synchronizes the async statistics feeder and flushes the sharded
+// runtime's pending result deliveries without capturing any state; a no-op
+// on the single-threaded path, where every delivery is synchronous. A plan
+// migration calls this at the end of its replay so that every result the
+// replay produced passes the delivery gate while it is still in replay
+// mode. The mid-interval flush is trajectory-safe (see Checkpoint).
+func (p *Pipeline) Quiesce() {
+	if p.rt != nil {
+		p.loop.Sync()
+		p.rt.FlushInterval(p.replayTuple, p.cfg.Emit)
+	}
+}
+
+// ApplyK installs a buffer size directly, outside the adaptation schedule —
+// the K-transplant path a plan migration uses after restoring the feedback
+// loop. Shrinking releases newly eligible tuples immediately, exactly as an
+// adaptation step would.
+func (p *Pipeline) ApplyK(k stream.Time) {
+	p.curK = k
+	for _, b := range p.ks {
+		b.SetK(k)
+	}
+}
+
 // AvgK returns the average buffer size over all adaptation intervals, the
 // paper's result-latency metric.
 func (p *Pipeline) AvgK() float64 { return p.loop.AvgK(0) }

@@ -243,6 +243,73 @@ func SparseEqui3(n int, seed int64, keyDomain int, delayMax [3]stream.Time) stre
 	return in
 }
 
+// PhaseFlip4 packages the phase-flipping star as a Dataset for the CLI
+// tools: four equal phases (dense, sparse, dense, sparse) spanning the
+// given stream-time duration at 10 ms ticks, with 600 ms windows — sized so
+// the measured-cost planner deploys flat in dense phases and a tree in
+// sparse ones.
+func PhaseFlip4(duration stream.Time, seed int64) *Dataset {
+	ticks := int(duration / 10)
+	per := ticks / 4
+	if per < 1 {
+		per = 1
+	}
+	w := stream.Time(600)
+	return &Dataset{
+		Name:     "Dflip-x4",
+		M:        4,
+		Arrivals: PhaseFlipStar4(4, per, seed, 12, 600, 200),
+		Windows:  []stream.Time{w, w, w, w},
+		Cond:     join.Star(4, []int{0, 1, 2}, []int{0, 0, 0}),
+	}
+}
+
+// PhaseFlipStar4 builds the online re-planner's demo workload: a 4-stream
+// star feed (same schema as SparseStar4) whose key density flips every
+// ticksPerPhase ticks. Even phases are DENSE — keys drawn from the small
+// [0, denseDomain), making per-predicate selectivity high and intermediate
+// materialization expensive, the regime where the flat MJoin operator wins —
+// and odd phases are SPARSE, drawing from [0, sparseDomain), the regime
+// where a binary tree's intermediates undercut the raw windows. Timestamps
+// run continuously across phases (10 ms ticks, one tuple per stream per
+// tick) and one tuple in four arrives late by up to delayMax, so disorder
+// handling stays engaged while a measured-stats planner provably flips the
+// live shape at each phase change.
+func PhaseFlipStar4(phases, ticksPerPhase int, seed int64, denseDomain, sparseDomain int, delayMax stream.Time) stream.Batch {
+	rng := rand.New(rand.NewSource(seed))
+	var in stream.Batch
+	var seq uint64
+	ts := stream.Time(5000)
+	for p := 0; p < phases; p++ {
+		domain := denseDomain
+		if p%2 == 1 {
+			domain = sparseDomain
+		}
+		for i := 0; i < ticksPerPhase; i++ {
+			ts += 10
+			for src := 0; src < 4; src++ {
+				t := ts
+				if delayMax > 0 && rng.Intn(4) == 0 {
+					t -= stream.Time(rng.Int63n(int64(delayMax)))
+				}
+				var attrs []float64
+				if src == 0 {
+					attrs = []float64{
+						float64(rng.Intn(domain)),
+						float64(rng.Intn(domain)),
+						float64(rng.Intn(domain)),
+					}
+				} else {
+					attrs = []float64{float64(rng.Intn(domain))}
+				}
+				in = append(in, &stream.Tuple{TS: t, Seq: seq, Src: src, Attrs: attrs})
+				seq++
+			}
+		}
+	}
+	return in
+}
+
 // SparseStar4 builds a sparse-key disordered 4-stream star feed — the
 // workload of the stage-wise sharding benchmark and tests. Stream 0 is the
 // star center carrying three key attributes (one per spoke predicate, each

@@ -1,0 +1,172 @@
+package plan
+
+// EmitLog is the exactly-once delivery gate a live plan migration resumes
+// behind. It sits permanently between the executor's emit callback and the
+// user's sink, recording the multiset of results delivered so far. During a
+// migration's replay phase the new executor regenerates recent results from
+// the raw input suffix; the gate suppresses every regeneration that was
+// already delivered by the abandoned executor and passes through exactly
+// the results that were still in flight at the migration boundary — so the
+// user-visible result multiset is identical to an uninterrupted run's.
+//
+// The supervised runtime's count-based emit gates (DESIGN.md §10) solve the
+// same problem for same-shape recovery, where the replayed emission ORDER
+// is bit-for-bit identical and a counter suffices. Across shapes the order
+// is not preserved — different deployments emit the same multiset in
+// different interleavings — so the gate generalizes the counter to a
+// multiset keyed by result identity (source:sequence per member tuple).
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/join"
+	"repro/internal/stream"
+)
+
+type emitEntry struct {
+	count int
+	// minTS is the smallest member timestamp — the pruning key: once the
+	// replay log no longer reaches back to minTS, no future replay can
+	// regenerate this result and the entry is dead weight.
+	minTS stream.Time
+}
+
+// EmitLog gates result delivery across plan migrations. It is driven from
+// the executor's driver thread (every engine delivers results on the thread
+// that calls Push/Finish) and is not safe for concurrent use.
+type EmitLog struct {
+	inner  join.EmitFunc
+	counts join.CountEmitFunc
+
+	seen map[string]emitEntry
+	// consumed tracks, within one replay, how many recorded deliveries of
+	// each signature have already been matched and suppressed.
+	consumed map[string]int
+
+	replaying  bool
+	delivered  int64 // results delivered to the user, ever
+	suppressed int64 // regenerations suppressed, ever
+	repDeliver int64 // deliveries during the current replay
+	repSupp    int64 // suppressions during the current replay
+}
+
+// NewEmitLog builds the gate in front of the given user sink and count sink
+// (either may be nil).
+func NewEmitLog(inner join.EmitFunc, counts join.CountEmitFunc) *EmitLog {
+	return &EmitLog{inner: inner, counts: counts, seen: map[string]emitEntry{}}
+}
+
+// SetInner replaces the user sink behind the gate (the RunChannel path).
+func (l *EmitLog) SetInner(f join.EmitFunc) { l.inner = f }
+
+// Emit is the callback installed as the executor's emit function — for the
+// initial executor and for every migrated-to executor alike.
+func (l *EmitLog) Emit(r stream.Result) {
+	sig, minTS := resultIdentity(r)
+	if e, ok := l.seen[sig]; ok {
+		if l.replaying {
+			if l.consumed[sig] < e.count {
+				l.consumed[sig]++
+				l.suppressed++
+				l.repSupp++
+				return
+			}
+		} else {
+			// A regeneration surfacing after EndReplay: the migrated-to
+			// shape's release schedule can defer a replayed derivation past
+			// the post-replay quiesce (tree stages hold results in reorder
+			// buffers until future clock advances release them). An engine
+			// delivers each result identity at most once per run — one
+			// trigger tuple per member combination — so a live re-emission
+			// of a recorded identity is always such a leftover.
+			l.suppressed++
+			return
+		}
+	}
+	if l.replaying {
+		// Not delivered before the boundary: this result was in flight in
+		// the abandoned executor and the replay is its only delivery path.
+		l.repDeliver++
+		if l.counts != nil {
+			l.counts(r.TS, 1)
+		}
+	}
+	l.record(sig, minTS)
+	l.delivered++
+	if l.inner != nil {
+		l.inner(r)
+	}
+}
+
+func (l *EmitLog) record(sig string, minTS stream.Time) {
+	e := l.seen[sig]
+	e.count++
+	if e.count == 1 || minTS < e.minTS {
+		e.minTS = minTS
+	}
+	l.seen[sig] = e
+}
+
+// BeginReplay switches the gate into replay mode: regenerated results are
+// matched against the recorded deliveries and suppressed.
+func (l *EmitLog) BeginReplay() {
+	l.replaying = true
+	l.consumed = map[string]int{}
+	l.repDeliver, l.repSupp = 0, 0
+}
+
+// EndReplay switches back to live delivery and reports how many results the
+// replay delivered (in-flight at the boundary) and suppressed (already
+// delivered by the abandoned executor).
+func (l *EmitLog) EndReplay() (delivered, suppressed int64) {
+	l.replaying = false
+	l.consumed = nil
+	return l.repDeliver, l.repSupp
+}
+
+// Replaying reports whether the gate is in a migration's replay phase.
+func (l *EmitLog) Replaying() bool { return l.replaying }
+
+// Delivered returns the number of results delivered to the user so far —
+// the result counter that stays continuous across migrations.
+func (l *EmitLog) Delivered() int64 { return l.delivered }
+
+// Suppressed returns the number of replay regenerations suppressed so far.
+func (l *EmitLog) Suppressed() int64 { return l.suppressed }
+
+// Entries returns the number of recorded result signatures (sizing metric).
+func (l *EmitLog) Entries() int { return len(l.seen) }
+
+// Prune drops recorded results whose earliest member timestamp is below
+// horizon. Call with the replay log's completeness horizon: a result with a
+// member older than the oldest replayable arrival can never be regenerated,
+// so its record can never suppress anything again.
+func (l *EmitLog) Prune(horizon stream.Time) {
+	for sig, e := range l.seen {
+		if e.minTS < horizon {
+			delete(l.seen, sig)
+		}
+	}
+}
+
+// resultIdentity renders the result's identity — source:sequence of every
+// member tuple — and its smallest member timestamp.
+func resultIdentity(r stream.Result) (string, stream.Time) {
+	var b strings.Builder
+	minTS := r.TS
+	for _, t := range r.Tuples {
+		if t == nil {
+			b.WriteByte(';')
+			continue
+		}
+		b.WriteString(strconv.Itoa(t.Src))
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatUint(t.Seq, 10))
+		b.WriteByte(',')
+		if t.TS < minTS {
+			minTS = t.TS
+		}
+	}
+	return b.String(), minTS
+}

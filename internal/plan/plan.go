@@ -137,6 +137,28 @@ type Hints struct {
 	Rates []float64
 }
 
+// EdgeSigma is one measured per-predicate selectivity: the fraction of
+// candidate pairs crossing the (Left, Right) stream edge that satisfy its
+// equi/band predicate.
+type EdgeSigma struct {
+	Left, Right int
+	Sigma       float64
+}
+
+// Measured carries statistics measured on a RUNNING join — the first-class
+// planner input the online re-planner feeds back each measurement period,
+// overriding the static hints where present. Unlike Hints (a guess made
+// before the first tuple), Measured values come from the Statistics Manager
+// and the delivered-result counters of the live deployment.
+type Measured struct {
+	// Rates is the measured per-stream arrival rate in tuples per time
+	// unit; overrides Hints.Rates when non-nil.
+	Rates []float64
+	// Edges gives measured per-edge selectivities; edges not listed fall
+	// back to Hints.Selectivity. An entry's stream pair is unordered.
+	Edges []EdgeSigma
+}
+
 // FlatGraph returns the classic single-operator deployment.
 func FlatGraph(cond *join.Condition, windows []stream.Time) *Graph {
 	check(cond, windows)
@@ -207,8 +229,17 @@ func check(cond *join.Condition, windows []stream.Time) {
 // intermediate cardinality undercuts the greedy spine's. Auto seals the
 // condition, like compiling it into an operator does.
 func Auto(cond *join.Condition, windows []stream.Time, h Hints) *Graph {
+	return AutoMeasured(cond, windows, h, nil)
+}
+
+// AutoMeasured is Auto with measured runtime statistics layered over the
+// static hints: measured rates replace hinted rates, measured per-edge
+// selectivities replace the uniform selectivity guess on the edges they
+// cover. ms may be nil (plain Auto). This is the entry point the online
+// re-planner calls each measurement period.
+func AutoMeasured(cond *join.Condition, windows []stream.Time, h Hints, ms *Measured) *Graph {
 	check(cond, windows)
-	cm := newCostModel(cond, windows, h)
+	cm := newCostModel(cond, windows, h, ms)
 	if h.Shards > 1 {
 		scheme := cond.Partition()
 		full := !anyUncovered(scheme) && scheme.Mode != join.PartitionNone
@@ -232,7 +263,7 @@ func Auto(cond *join.Condition, windows []stream.Time, h Hints) *Graph {
 		if cost := cm.treeCost(tree); cost <= cm.windowBudget() {
 			return &Graph{Cond: cond, Windows: windows, Root: tree,
 				Reason: fmt.Sprintf("low selectivity (σ=%.2g, est. intermediates %.0f ≤ raw windows %.0f) → binary tree with per-stage K",
-					cm.sigma, cost, cm.windowBudget())}
+					cm.sigmaRepr(), cost, cm.windowBudget())}
 		}
 	}
 	return &Graph{Cond: cond, Windows: windows, Root: Flat{M: cond.M},
@@ -284,27 +315,60 @@ func StageRoute(cond *join.Condition, st Stage) (join.PartitionScheme, bool) {
 // ---- cost model ----
 
 // costModel estimates steady-state cardinalities from window sizes, arrival
-// rates and the per-predicate selectivity hint.
+// rates and the per-predicate selectivity — hinted uniformly, or measured
+// per edge when the re-planner supplies a Measured overlay.
 type costModel struct {
 	cond    *join.Condition
 	windows []stream.Time
 	rates   []float64
 	sigma   float64 // 0 = unknown
+	// edge maps an unordered stream pair to its measured selectivity,
+	// consulted before the uniform sigma.
+	edge map[[2]int]float64
 }
 
-func newCostModel(cond *join.Condition, windows []stream.Time, h Hints) *costModel {
+func newCostModel(cond *join.Condition, windows []stream.Time, h Hints, ms *Measured) *costModel {
 	cm := &costModel{cond: cond, windows: windows, sigma: h.Selectivity}
 	cm.rates = h.Rates
+	if ms != nil && ms.Rates != nil {
+		cm.rates = ms.Rates
+	}
 	if cm.rates == nil {
 		cm.rates = make([]float64, cond.M)
 		for i := range cm.rates {
 			cm.rates[i] = 0.1 // one tuple per 10 time units, the gen default
 		}
 	}
+	if ms != nil && len(ms.Edges) > 0 {
+		cm.edge = make(map[[2]int]float64, len(ms.Edges))
+		for _, e := range ms.Edges {
+			cm.edge[edgeKey(e.Left, e.Right)] = e.Sigma
+		}
+	}
 	return cm
 }
 
-func (cm *costModel) known() bool { return cm.sigma > 0 }
+func edgeKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+func (cm *costModel) known() bool { return cm.sigma > 0 || len(cm.edge) > 0 }
+
+// edgeSigma resolves the selectivity of one predicate edge: the measured
+// per-edge value when the re-planner supplied one, the uniform hint
+// otherwise, and the pessimistic 1 when nothing is known.
+func (cm *costModel) edgeSigma(a, b int) float64 {
+	if s, ok := cm.edge[edgeKey(a, b)]; ok {
+		return s
+	}
+	if cm.sigma > 0 {
+		return cm.sigma
+	}
+	return 1
+}
 
 // winSize estimates the steady-state cardinality of stream i's window.
 func (cm *costModel) winSize(i int) float64 {
@@ -332,22 +396,31 @@ func (cm *costModel) card(streams []int) float64 {
 	for _, s := range streams {
 		out *= cm.winSize(s)
 	}
-	edges := 0
 	for _, p := range cm.cond.Equis {
 		if in[p.LeftStream] && in[p.RightStream] {
-			edges++
+			out *= cm.edgeSigma(p.LeftStream, p.RightStream)
 		}
 	}
 	for _, p := range cm.cond.Bands {
 		if in[p.LeftStream] && in[p.RightStream] {
-			edges++
+			out *= cm.edgeSigma(p.LeftStream, p.RightStream)
 		}
 	}
-	sigma := cm.sigma
-	if sigma == 0 {
-		sigma = 1 // unknown: assume the worst
+	return out
+}
+
+// sigmaRepr is the representative selectivity Explain reasons print: the
+// geometric mean over measured edges, or the uniform hint.
+func (cm *costModel) sigmaRepr() float64 {
+	if len(cm.edge) == 0 {
+		return cm.sigma
 	}
-	return out * math.Pow(sigma, float64(edges))
+	logSum, n := 0.0, 0
+	for _, s := range cm.edge {
+		logSum += math.Log(math.Max(s, 1e-12))
+		n++
+	}
+	return math.Exp(logSum / float64(n))
 }
 
 // treeCost is the total estimated intermediate cardinality: Σ over
@@ -487,4 +560,62 @@ func diff(all, remove []int) []int {
 		}
 	}
 	return out
+}
+
+// ---- comparable plan cost ----
+
+// treeStateFraction prices the per-stage window upkeep of a tree relative
+// to one flat probe over the full window budget: leaf windows still exist,
+// but each arrival probes only its own stage instead of every window.
+const treeStateFraction = 0.1
+
+// CostOf reduces a plan graph to one comparable scalar under the given
+// hints and measured statistics — the quantity the online re-planner's
+// hysteresis gate compares across candidate shapes. The model follows the
+// same tradeoff Auto decides by:
+//
+//   - A flat root costs its window budget Σ_i |W_i| — the state the MJoin
+//     operator scans and maintains per probe.
+//   - A keyed Shard over the flat operator divides that by its fan-out
+//     (each worker holds and probes 1/N of the state); a broadcast route
+//     replicates state and earns no discount.
+//   - A tree root costs treeStateFraction of the window budget plus the
+//     estimated cardinality of every materialized intermediate, each
+//     divided by its own stage's shard fan-out.
+//
+// Lower is better. Dense predicates blow up the intermediates and push the
+// scalar toward flat shapes; sparse predicates shrink them and favor trees.
+func CostOf(g *Graph, h Hints, ms *Measured) float64 {
+	cm := newCostModel(g.Cond, g.Windows, h, ms)
+	switch root := g.Root.(type) {
+	case Flat:
+		return cm.windowBudget()
+	case Shard:
+		if _, ok := root.Child.(Flat); ok {
+			if root.Broadcast() {
+				return cm.windowBudget()
+			}
+			return cm.windowBudget() / float64(root.N)
+		}
+	}
+	return treeStateFraction*cm.windowBudget() + cm.shardedTreeCost(g.Root, true)
+}
+
+// shardedTreeCost is treeCost with each non-root intermediate discounted by
+// its stage's shard fan-out.
+func (cm *costModel) shardedTreeCost(n Node, root bool) float64 {
+	shards := 1
+	if sh, ok := n.(Shard); ok {
+		shards = sh.N
+		n = sh.Child
+	}
+	st, ok := n.(Stage)
+	if !ok {
+		return 0
+	}
+	c := cm.shardedTreeCost(st.Left, false) + cm.shardedTreeCost(st.Right, false)
+	if !root {
+		c += cm.card(st.Streams()) / float64(shards)
+	}
+	return c
 }

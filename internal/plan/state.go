@@ -172,3 +172,11 @@ func Abandon(ex Executor) {
 		e.t.Abandon()
 	}
 }
+
+// ShapeString renders the graph's shape in the spec grammar's compact form
+// ("((0 1) 2)x4", "flat3", …) — the identity migration events print.
+func ShapeString(g *Graph) string {
+	var b strings.Builder
+	writeNodeSig(&b, g.Root)
+	return b.String()
+}

@@ -252,6 +252,9 @@ func (m *Manager) Rate(i int) float64 {
 	return float64(ss.arrivals-1) / float64(span)
 }
 
+// Arrivals returns the total number of tuples observed on stream i.
+func (m *Manager) Arrivals(i int) int64 { return m.streams[i].arrivals }
+
 // KSync estimates the Synchronizer's implicit buffer size for stream i as
 // the stream's average skew minus the minimum average skew over all streams
 // (Sec. IV-A), so the slowest stream has K^sync = 0.

@@ -51,6 +51,30 @@ func AutoPlan(cond *Condition, windows []Time, h PlanHints) *Plan {
 	})}
 }
 
+// AutoPlanFrom is AutoPlan with measured statistics layered over the
+// hints: the snapshot's per-stream rates and per-edge selectivities —
+// typically a running join's (*Join).Snapshot() — override the hinted
+// values where present. This is the offline half of online re-planning:
+// measure on a live join, re-plan from the measurement, redeploy; see
+// WithOnlineReplan for the fully automatic loop.
+func AutoPlanFrom(cond *Condition, windows []Time, h PlanHints, snap StatsSnapshot) *Plan {
+	ms := plan.Measured{}
+	if len(snap.Streams) == len(windows) {
+		ms.Rates = make([]float64, len(snap.Streams))
+		for i, s := range snap.Streams {
+			ms.Rates[i] = s.Rate
+		}
+	}
+	for _, e := range snap.Edges {
+		ms.Edges = append(ms.Edges, plan.EdgeSigma{Left: e.Left, Right: e.Right, Sigma: e.Selectivity})
+	}
+	return &Plan{g: plan.AutoMeasured(cond, windows, plan.Hints{
+		Shards:      h.Shards,
+		Selectivity: h.Selectivity,
+		Rates:       h.Rates,
+	}, &ms)}
+}
+
 // ParsePlan compiles a textual plan spec: "auto", "flat", "shard[:N]",
 // "tree", "tree-shard[:N]", or an explicit shape s-expression such as
 // "((0 1)x4 2)x4" (a xN suffix shards that stage). shards is the budget

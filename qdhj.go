@@ -26,11 +26,13 @@
 package qdhj
 
 import (
+	"math"
+
 	"repro/internal/adapt"
 	"repro/internal/core"
 	"repro/internal/join"
 	"repro/internal/plan"
-	"repro/internal/stats"
+	"repro/internal/replan"
 	"repro/internal/stream"
 )
 
@@ -138,6 +140,7 @@ type joinOpts struct {
 	autoPlan   bool
 	supervised bool
 	scf        plan.SuperviseConfig
+	replan     *ReplanOptions
 }
 
 // AdaptEvent reports one buffer-size adaptation step.
@@ -196,7 +199,11 @@ type Join struct {
 	ex  plan.Executor
 	// sup is the supervised runtime when WithSupervision (or an option that
 	// implies it) was given; nil on plain joins.
-	sup    *plan.Supervised
+	sup *plan.Supervised
+	// rc is the online re-planning controller under WithOnlineReplan; nil
+	// otherwise. When set, j.ex is the CURRENT executor and may be replaced
+	// by a live migration on any Push.
+	rc     *replan.Controller
 	closed bool
 	// hasSink records whether a results sink is installed — by WithResults
 	// at construction or by a RunChannel call; RunChannel refuses to
@@ -248,18 +255,39 @@ func NewJoin(cond *Condition, windows []Time, opt Options, jopts ...JoinOption) 
 	cfg := execConfig(opt, &jo)
 	g := jo.graphFor(cond, windows)
 	j := &Join{g: g, cfg: cfg, hasSink: jo.emit != nil}
-	if jo.supervised {
+	switch {
+	case jo.replan != nil:
+		if jo.supervised {
+			panic("qdhj: WithOnlineReplan cannot be combined with WithSupervision — the supervised runtime pins one deployment shape for checkpoint/replay recovery")
+		}
+		j.rc = newController(g, cfg, jo.replan)
+		j.ex = plan.Build(g, j.rc.Config())
+	case jo.supervised:
 		j.sup = plan.NewSupervised(g, cfg, jo.scf)
 		j.ex = j.sup
-	} else {
+	default:
 		j.ex = plan.Build(g, cfg)
 	}
 	return j
 }
 
 // Push feeds one arriving tuple. Tuples carry their source stream in
-// Tuple.Src and their application timestamp in Tuple.TS.
-func (j *Join) Push(t *Tuple) { j.ex.Push(t) }
+// Tuple.Src and their application timestamp in Tuple.TS. Under
+// WithOnlineReplan, Push additionally runs the re-planning loop: the tuple
+// is recorded in the replay log, and the executor between two pushes is a
+// valid migration point, so a Push may return having migrated the join to a
+// different deployment shape.
+func (j *Join) Push(t *Tuple) {
+	if j.rc != nil {
+		j.rc.Observe(t)
+		j.ex.Push(t)
+		if nex := j.rc.Step(j.ex); nex != nil {
+			j.ex = nex
+		}
+		return
+	}
+	j.ex.Push(t)
+}
 
 // Close flushes all buffers at end of input. The join must not be pushed to
 // afterwards. On a supervised join whose retry budget is already spent,
@@ -269,8 +297,15 @@ func (j *Join) Close() {
 	j.ex.Finish()
 }
 
-// Results returns the number of join results produced so far.
-func (j *Join) Results() int64 { return j.ex.Results() }
+// Results returns the number of join results produced so far. Under
+// WithOnlineReplan it counts results DELIVERED through the exactly-once
+// gate — the counter that stays continuous across migrations.
+func (j *Join) Results() int64 {
+	if j.rc != nil {
+		return j.rc.Gate().Delivered()
+	}
+	return j.ex.Results()
+}
 
 // CurrentK returns the input-sorting buffer size currently applied; it is
 // the latency bound disorder handling adds to results. On tree-shaped
@@ -315,24 +350,22 @@ func (j *Join) RunChannel(in <-chan *Tuple) <-chan Result {
 	}
 	j.hasSink = true
 	out := make(chan Result, 256)
-	j.ex.SetEmit(func(r Result) { out <- r })
+	if j.rc != nil {
+		// Delivery already routes through the exactly-once gate; redirect
+		// its inner sink so migrations keep feeding the same channel.
+		j.rc.Gate().SetInner(func(r Result) { out <- r })
+	} else {
+		j.ex.SetEmit(func(r Result) { out <- r })
+	}
 	go func() {
 		defer close(out)
 		for t := range in {
-			j.ex.Push(t)
+			j.Push(t)
 		}
 		j.ex.Finish()
 	}()
 	return out
 }
-
-// Stats exposes the internal statistics manager.
-//
-// Deprecated: Stats leaks the internal *stats.Manager into the public
-// surface (and is nil on static tree-shaped plans, which run no feedback
-// loop). Use Snapshot, which returns a plain read-only copy of the same
-// numbers.
-func (j *Join) Stats() *stats.Manager { return j.ex.Stats() }
 
 // StreamStats is the read-only per-stream view of the Statistics Manager.
 type StreamStats struct {
@@ -348,14 +381,28 @@ type StreamStats struct {
 	LocalT Time
 }
 
-// StatsSnapshot is a point-in-time, read-only copy of the join's delay
-// statistics — the public replacement for the deprecated Stats accessor.
+// EdgeStats is one measured per-predicate selectivity: the estimated
+// fraction of candidate pairs crossing the (Left, Right) stream edge that
+// satisfy its equi/band predicate.
+type EdgeStats struct {
+	Left, Right int
+	Selectivity float64
+}
+
+// StatsSnapshot is a point-in-time, read-only copy of the join's measured
+// statistics. Feed it back to AutoPlanFrom to re-plan the deployment from
+// measured values instead of guesses.
 type StatsSnapshot struct {
 	Streams []StreamStats
 	// GlobalT is max_i iT, the framework's logical "now".
 	GlobalT Time
 	// MaxDelayAllTime is the largest delay among all observed tuples.
 	MaxDelayAllTime Time
+	// Edges estimates per-predicate selectivities from the cumulative
+	// result and arrival counters, decomposed uniformly over the
+	// condition's equi and band edges; nil while nothing can be estimated
+	// yet (no arrivals, or a condition without equi/band predicates).
+	Edges []EdgeStats
 }
 
 // Snapshot copies the current delay statistics. On deployments without a
@@ -380,5 +427,41 @@ func (j *Join) Snapshot() StatsSnapshot {
 			LocalT:         m.LocalT(i),
 		}
 	}
+	snap.Edges = j.edgeStats(m.M(), func(i int) int64 { return m.Arrivals(i) }, snap.Streams)
 	return snap
+}
+
+// edgeStats estimates per-edge selectivities from the cumulative counters:
+// the total result count over the expected number of unfiltered m-way
+// combinations, decomposed uniformly over the condition's predicate edges.
+func (j *Join) edgeStats(m int, arrivals func(int) int64, streams []StreamStats) []EdgeStats {
+	cond, windows := j.g.Cond, j.g.Windows
+	e := len(cond.Equis) + len(cond.Bands)
+	if e == 0 {
+		return nil
+	}
+	var cross float64
+	for i := 0; i < m; i++ {
+		comb := float64(arrivals(i))
+		for k := 0; k < m; k++ {
+			if k == i {
+				continue
+			}
+			comb *= streams[k].Rate * float64(windows[k])
+		}
+		cross += comb
+	}
+	if cross <= 0 {
+		return nil
+	}
+	sigTot := math.Min(1, math.Max(float64(j.Results())/cross, 1e-9))
+	sigEdge := math.Pow(sigTot, 1/float64(e))
+	out := make([]EdgeStats, 0, e)
+	for _, p := range cond.Equis {
+		out = append(out, EdgeStats{Left: p.LeftStream, Right: p.RightStream, Selectivity: sigEdge})
+	}
+	for _, p := range cond.Bands {
+		out = append(out, EdgeStats{Left: p.LeftStream, Right: p.RightStream, Selectivity: sigEdge})
+	}
+	return out
 }

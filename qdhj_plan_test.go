@@ -115,9 +115,10 @@ func TestJoinTreePlanAdaptive(t *testing.T) {
 	}
 }
 
-// TestSnapshotMatchesDeprecatedStats: the read-only snapshot reports the
-// same numbers as the deprecated raw accessor.
-func TestSnapshotMatchesDeprecatedStats(t *testing.T) {
+// TestSnapshotStats: the read-only snapshot reports coherent measured
+// statistics — plausible rates and clocks per stream, and per-edge
+// selectivity estimates near the workload's true key density.
+func TestSnapshotStats(t *testing.T) {
 	leakcheck.Check(t)
 	in := gen.SparseEqui3(1500, 3, 100, [3]Time{500, 500, 500})
 	j := NewJoin(EquiChain(3, 0), []Time{Second, Second, Second}, Options{})
@@ -125,16 +126,28 @@ func TestSnapshotMatchesDeprecatedStats(t *testing.T) {
 		j.Push(e)
 	}
 	j.Close()
-	m := j.Stats()
 	snap := j.Snapshot()
-	for i := 0; i < 3; i++ {
-		if snap.Streams[i].Rate != m.Rate(i) || snap.Streams[i].KSync != m.KSync(i) ||
-			snap.Streams[i].HistoryLen != m.HistoryLen(i) || snap.Streams[i].LocalT != m.LocalT(i) {
-			t.Fatalf("stream %d: snapshot %+v disagrees with Stats()", i, snap.Streams[i])
+	if len(snap.Streams) != 3 {
+		t.Fatalf("snapshot has %d streams, want 3", len(snap.Streams))
+	}
+	for i, s := range snap.Streams {
+		if s.Rate < 0.05 || s.Rate > 0.2 {
+			t.Fatalf("stream %d rate %.4f tuples/ms, true value 0.1", i, s.Rate)
+		}
+		if s.LocalT <= 0 || s.LocalT > snap.GlobalT {
+			t.Fatalf("stream %d clock %v outside (0, GlobalT=%v]", i, s.LocalT, snap.GlobalT)
 		}
 	}
-	if snap.GlobalT != m.GlobalT() || snap.MaxDelayAllTime != m.MaxDelayAllTime() {
-		t.Fatalf("snapshot globals disagree: %+v", snap)
+	if snap.MaxDelayAllTime <= 0 || snap.MaxDelayAllTime > 500 {
+		t.Fatalf("max delay %v, workload injects up to 500", snap.MaxDelayAllTime)
+	}
+	if len(snap.Edges) != 2 {
+		t.Fatalf("equi chain over 3 streams has 2 edges, snapshot has %d", len(snap.Edges))
+	}
+	for _, e := range snap.Edges {
+		if e.Selectivity < 0.002 || e.Selectivity > 0.05 {
+			t.Fatalf("edge (%d,%d) selectivity %.5f, true key density 0.01", e.Left, e.Right, e.Selectivity)
+		}
 	}
 }
 

@@ -1,0 +1,210 @@
+package qdhj
+
+// End-to-end online re-planning through the public API: the dense↔sparse
+// phase-flipping star workload must make the live plan switch shapes at
+// each phase change while the delivered result multiset stays exactly the
+// uninterrupted reference's.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/leakcheck"
+)
+
+func replanStarCond() *Condition { return Star(4, []int{0, 1, 2}, []int{0, 0, 0}) }
+
+func replanSig(r Result) string {
+	parts := make([]string, len(r.Tuples))
+	for i, t := range r.Tuples {
+		parts[i] = fmt.Sprintf("%d:%d", t.Src, t.Seq)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// TestOnlineReplanPhaseFlip drives WithOnlineReplan over the phase-flipping
+// star: the plan must migrate at least once per phase change, in both
+// directions, delivering the exact reference multiset.
+func TestOnlineReplanPhaseFlip(t *testing.T) {
+	leakcheck.Check(t)
+	in := gen.PhaseFlipStar4(4, 500, 23, 12, 600, 200)
+	maxD, _ := in.MaxDelay()
+	w := []Time{600, 600, 600, 600}
+	opt := Options{Policy: StaticSlack, StaticK: maxD}
+
+	want := map[string]int{}
+	ref := NewJoin(replanStarCond(), w, opt,
+		WithResults(func(r Result) { want[replanSig(r)]++ }))
+	for _, e := range in.Clone() {
+		ref.Push(e)
+	}
+	ref.Close()
+
+	got := map[string]int{}
+	var events []MigrationEvent
+	j := NewJoin(replanStarCond(), w, opt,
+		WithResults(func(r Result) { got[replanSig(r)]++ }),
+		WithOnlineReplan(ReplanOptions{
+			Period: 2000, MinDwell: 3000, Improvement: 1.2,
+			OnMigrate: func(ev MigrationEvent) { events = append(events, ev) },
+		}))
+	startShape := j.CurrentPlan().Explain()
+	for _, e := range in {
+		j.Push(e)
+	}
+	j.Close()
+
+	if j.Migrations() < 3 {
+		t.Fatalf("3 phase changes, %d migrations — the live plan must switch shapes at least once per change", j.Migrations())
+	}
+	if len(events) != j.Migrations() {
+		t.Fatalf("OnMigrate observed %d events, Migrations() says %d", len(events), j.Migrations())
+	}
+	var toTree, toFlat bool
+	for i, ev := range events {
+		if ev.From == ev.To || ev.FromExplain == "" || ev.ToExplain == "" {
+			t.Fatalf("event %d incomplete: %+v", i, ev)
+		}
+		if ev.From == "flat4" {
+			toTree = true
+		}
+		if ev.To == "flat4" {
+			toFlat = true
+		}
+	}
+	if !toTree || !toFlat {
+		t.Fatalf("want shape switches in both directions, got toTree=%v toFlat=%v", toTree, toFlat)
+	}
+	if cur := j.CurrentPlan().Explain(); cur == startShape {
+		t.Fatalf("CurrentPlan still explains the initial deployment after %d migrations", j.Migrations())
+	}
+
+	if len(got) != len(want) {
+		t.Fatalf("replanning run delivered %d distinct results, reference %d", len(got), len(want))
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Fatalf("result %s delivered ×%d, want ×%d", k, got[k], n)
+		}
+	}
+	if j.Results() != int64(len(want)) {
+		t.Fatalf("Results() = %d across migrations, want the gate-delivered %d", j.Results(), len(want))
+	}
+}
+
+// TestOnlineReplanAdaptive runs the full quality-driven policy under
+// re-planning: the loop state transplants across shapes, so adaptations
+// keep firing and no result is delivered twice.
+func TestOnlineReplanAdaptive(t *testing.T) {
+	leakcheck.Check(t)
+	in := gen.PhaseFlipStar4(4, 500, 31, 12, 600, 200)
+	w := []Time{600, 600, 600, 600}
+
+	maxD, _ := in.MaxDelay()
+	want := map[string]int{}
+	ref := NewJoin(replanStarCond(), w, Options{Policy: StaticSlack, StaticK: maxD},
+		WithResults(func(r Result) { want[replanSig(r)]++ }))
+	for _, e := range in.Clone() {
+		ref.Push(e)
+	}
+	ref.Close()
+
+	got := map[string]int{}
+	j := NewJoin(replanStarCond(), w,
+		Options{Gamma: 0.9, Period: 4000, Interval: 1000},
+		WithResults(func(r Result) { got[replanSig(r)]++ }),
+		WithOnlineReplan(ReplanOptions{Period: 2000, MinDwell: 3000, Improvement: 1.2}))
+	for _, e := range in {
+		j.Push(e)
+	}
+	j.Close()
+
+	if j.Migrations() == 0 {
+		t.Fatal("adaptive phase-flipping run never migrated")
+	}
+	if j.Adaptations() == 0 {
+		t.Fatal("no adaptation steps across migrations — loop transplant lost")
+	}
+	for k, n := range got {
+		if n > want[k] {
+			t.Fatalf("result %s delivered ×%d, full-coverage reference has ×%d — duplicate or spurious", k, n, want[k])
+		}
+	}
+	if len(got) == 0 {
+		t.Fatal("adaptive replanning run delivered nothing")
+	}
+}
+
+// TestOnlineReplanRunChannel: the channel front-end keeps delivering across
+// migrations (the gate's inner sink survives executor replacement).
+func TestOnlineReplanRunChannel(t *testing.T) {
+	leakcheck.Check(t)
+	in := gen.PhaseFlipStar4(2, 500, 47, 12, 600, 100)
+	maxD, _ := in.MaxDelay()
+	w := []Time{600, 600, 600, 600}
+	j := NewJoin(replanStarCond(), w, Options{Policy: StaticSlack, StaticK: maxD},
+		WithOnlineReplan(ReplanOptions{Period: 2000, MinDwell: 2000, Improvement: 1.2}))
+	ch := make(chan *Tuple)
+	out := j.RunChannel(ch)
+	done := make(chan int64)
+	go func() {
+		var n int64
+		for range out {
+			n++
+		}
+		done <- n
+	}()
+	for _, e := range in {
+		ch <- e
+	}
+	close(ch)
+	n := <-done
+	if j.Migrations() == 0 {
+		t.Fatal("dense→sparse flip never migrated")
+	}
+	if n == 0 || n != j.Results() {
+		t.Fatalf("channel delivered %d results, gate counted %d", n, j.Results())
+	}
+}
+
+// TestOnlineReplanRejectsSupervision: the two runtimes are exclusive.
+func TestOnlineReplanRejectsSupervision(t *testing.T) {
+	leakcheck.Check(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WithOnlineReplan+WithSupervision must panic")
+		}
+	}()
+	NewJoin(EquiChain(2, 0), []Time{Second, Second}, Options{},
+		WithOnlineReplan(ReplanOptions{}), WithSupervision(Supervision{}))
+}
+
+// TestAutoPlanFrom: measured statistics flow through the snapshot into the
+// planner — a dense measurement keeps the flat shape, a sparse one flips
+// the same condition to a tree.
+func TestAutoPlanFrom(t *testing.T) {
+	leakcheck.Check(t)
+	w := []Time{600, 600, 600, 600}
+	run := func(domain int) StatsSnapshot {
+		in := gen.PhaseFlipStar4(1, 800, 5, domain, domain, 100)
+		maxD, _ := in.MaxDelay()
+		j := NewJoin(replanStarCond(), w, Options{Policy: StaticSlack, StaticK: maxD})
+		for _, e := range in {
+			j.Push(e)
+		}
+		j.Close()
+		return j.Snapshot()
+	}
+	dense := AutoPlanFrom(replanStarCond(), w, PlanHints{}, run(12))
+	if s := dense.Explain(); !strings.Contains(s, "flat") {
+		t.Fatalf("dense measurement must keep the flat operator, got:\n%s", s)
+	}
+	sparse := AutoPlanFrom(replanStarCond(), w, PlanHints{}, run(600))
+	if s := sparse.Explain(); strings.Contains(s, "flat") {
+		t.Fatalf("sparse measurement must flip to a tree, got:\n%s", s)
+	}
+}

@@ -263,8 +263,8 @@ func TestStatsExposed(t *testing.T) {
 	j := NewJoin(EquiChain(2, 0), []Time{Second, Second}, Options{})
 	j.Push(&Tuple{TS: 1000, Src: 0})
 	j.Push(&Tuple{TS: 900, Src: 0})
-	if j.Stats().MaxDelayAllTime() != 100 {
-		t.Fatalf("stats max delay = %v", j.Stats().MaxDelayAllTime())
+	if got := j.Snapshot().MaxDelayAllTime; got != 100 {
+		t.Fatalf("snapshot max delay = %v", got)
 	}
 }
 
