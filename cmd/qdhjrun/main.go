@@ -15,6 +15,7 @@
 //	qdhjrun -query x4 -shards 4 -explain            # what would auto pick?
 //	qdhjrun -in d.csv -query x4 -plan auto -shards 4
 //	qdhjrun -in d.csv -query x4 -plan '((0 1)x4 2 3)x4'
+//	qdhjrun -in d.csv -query x3 -batch 64           # columnar release batches
 //
 // Fault tolerance (the planned path): -checkpoint writes a restorable
 // snapshot partway through the feed and exits; -restore resumes a run from
@@ -64,6 +65,7 @@ func main() {
 		pipelined = flag.Bool("pipelined", false, "execute as the pipelined binary tree (one goroutine per stage)")
 		perStage  = flag.Bool("perstage", false, "with -tree/-pipelined: one adaptive K per binary stage instead of Same-K")
 		shards    = flag.Int("shards", 0, "shard budget: parallel workers for the planner / sharded operator")
+		batch     = flag.Int("batch", 0, "columnar release batch size (0 or 1 = per-tuple); results and K trajectory are bit-for-bit identical at any size")
 		planSpec  = flag.String("plan", "", "deployment plan spec: auto|flat|shard[:N]|tree|tree-shard[:N] or a shape s-expression like '((0 1)x4 2)x4'")
 		explain   = flag.Bool("explain", false, "print the plan graph (shape, shard routes, per-stage K scopes) and exit; works without -in")
 		ckptFile  = flag.String("checkpoint", "", "write a snapshot to this file after -checkpoint-at arrivals and exit")
@@ -152,15 +154,18 @@ func main() {
 	fmt.Fprintf(os.Stderr, "computing oracle ground truth...\n")
 	truth := oracle.TrueResults(ds.Cond, ds.Windows, ds.Arrivals)
 
-	if *planSpec != "" || *shards > 0 && !*tree && !*pipelined || ft.active() || rp.on {
+	if *batch > 1 && (*tree || *pipelined) {
+		fatal(fmt.Errorf("-batch runs on the planned path; use -plan tree for a batched tree"))
+	}
+	if *planSpec != "" || *shards > 0 && !*tree && !*pipelined || ft.active() || rp.on || *batch > 1 {
 		spec := *planSpec
 		if spec == "" {
 			spec = "auto"
-			if rp.on {
-				spec = "flat" // re-planning discovers the shape; start neutral
+			if rp.on || *batch > 1 {
+				spec = "flat" // re-planning discovers the shape; -batch alone keeps the plain operator
 			}
 		}
-		runPlanned(ds, truth, acfg, *policy, stream.Time(*staticK*float64(stream.Second)), spec, *shards, ft, rp)
+		runPlanned(ds, truth, acfg, *policy, stream.Time(*staticK*float64(stream.Second)), spec, *shards, *batch, ft, rp)
 		return
 	}
 
@@ -379,7 +384,7 @@ type replanOpts struct {
 // resumes from one; with -inject it runs supervised under deterministic
 // fault injection; with -replan it re-plans online and live-migrates.
 func runPlanned(ds *gen.Dataset, truth *oracle.Index, acfg adapt.Config, policy string,
-	staticK stream.Time, spec string, shards int, ft ftOpts, rp replanOpts) {
+	staticK stream.Time, spec string, shards, batch int, ft ftOpts, rp replanOpts) {
 	p, err := qdhj.ParsePlan(spec, ds.Cond, ds.Windows, shards)
 	if err != nil {
 		fatal(err)
@@ -404,6 +409,9 @@ func runPlanned(ds *gen.Dataset, truth *oracle.Index, acfg adapt.Config, policy 
 		fatal(fmt.Errorf("unknown policy %q for planned execution", policy))
 	}
 	jopts := []qdhj.JoinOption{qdhj.WithPlan(p)}
+	if batch > 1 {
+		jopts = append(jopts, qdhj.WithBatchSize(batch))
+	}
 	var migrations int
 	var totalPause, maxPause time.Duration
 	if rp.on {

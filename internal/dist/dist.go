@@ -480,6 +480,9 @@ type pwindow struct {
 	heap pq.Heap[*event]
 	idx  *index.Hash[*event]   // nil unless the stage has an equi lookup
 	srt  *index.Sorted[*event] // nil unless the stage is band-only
+	// free, when set, receives every expired event — the PlanTree stage
+	// arena's recycle hook. Only driver-thread windows set it.
+	free func(*event)
 }
 
 func newPwindow(indexed, banded bool) *pwindow {
@@ -519,11 +522,13 @@ func (w *pwindow) expire(t stream.Time) {
 		if w.srt != nil {
 			w.srt.Remove(ev.key, ev)
 		}
-		if w.idx == nil {
-			continue
+		if w.idx != nil {
+			if k, ok := index.KeyBits(ev.key); ok {
+				w.idx.Remove(k, ev)
+			}
 		}
-		if k, ok := index.KeyBits(ev.key); ok {
-			w.idx.Remove(k, ev)
+		if w.free != nil {
+			w.free(ev)
 		}
 	}
 }

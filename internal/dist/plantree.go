@@ -145,9 +145,17 @@ type pstage struct {
 
 	lookups []pxEqui
 	bands   []pxBand
-	checks  []int // Condition.Generics claimed by this stage
-	keyed   bool  // probe key is lookups[0] (hash); else bands[0] (range) if banded
+	checks  []int        // Condition.Generics claimed by this stage
+	progs   []*join.Prog // compiled form per check; nil entries fall back to Eval
+	keyed   bool         // probe key is lookups[0] (hash); else bands[0] (range) if banded
 	banded  bool
+
+	// free is the stage's chunk arena: dead events (expired from the
+	// driver-thread windows or dropped out of scope) whose parts slices are
+	// recycled into the next leaf arrival or combine output pushed into
+	// this stage. Driver-thread only; sharded stages run without one
+	// (their windows expire on worker goroutines).
+	free []*event
 
 	// Synchronizer state (Alg. 1, m = 2).
 	tsync  stream.Time
@@ -183,6 +191,15 @@ type PlanTree struct {
 	// every Push, between tuples — a checkpoint-consistent crash point.
 	inject    *fault.Injector
 	hasShards bool
+
+	// Leaf-release batching (SetBatch): released raw tuples are buffered in
+	// global release order and pushed into their stages in one run. One
+	// buffer across all leaves preserves the exact unbatched push
+	// interleaving, so stage ord stamps — and with them the whole run — stay
+	// bit-for-bit. Flushed when full and at every barrier that reads tree
+	// state (SyncBarrier, Quiesce, Finish, Capture).
+	batch    []*stream.Tuple
+	batchCap int
 }
 
 // pleaf is one raw input: its K-slack buffer and the stage side it feeds.
@@ -190,6 +207,25 @@ type pleaf struct {
 	ks    *kslack.Buffer
 	stage *pstage
 	side  int
+	src   int
+	w     stream.Time
+}
+
+// emit wraps one released raw tuple into an event and pushes it into the
+// leaf's stage. The event comes from the stage arena when the stage is
+// unsharded (a sharded stage's windows live on worker goroutines, which
+// cannot return events to the driver-owned free list).
+func (lf *pleaf) emit(e *stream.Tuple) {
+	s := lf.stage
+	var ev *event
+	if s.sh == nil {
+		ev = s.alloc()
+	} else {
+		ev = &event{parts: make([]*stream.Tuple, s.tree.m)}
+	}
+	ev.ts, ev.deadline, ev.delay = e.TS, e.TS+lf.w, e.Delay
+	ev.parts[lf.src] = e
+	s.push(ev, lf.side)
 }
 
 // NewPlanTree compiles cond into the executors of shape with the common
@@ -231,6 +267,16 @@ func NewPlanTree(cond *join.Condition, windows []stream.Time, shape *Shape, k st
 		if s.sh != nil {
 			t.hasShards = true
 		}
+		// Compile each claimed generic to bytecode; nil entries (opaque
+		// closures, too-deep expressions) keep the Eval escape hatch.
+		// Prog.Eval is concurrent-safe, so shard workers share the programs.
+		for _, gi := range s.checks {
+			s.progs = append(s.progs, join.CompileExpr(cond.Generics[gi].Expr))
+		}
+		if s.sh == nil {
+			s.win[0].free = s.recycle
+			s.win[1].free = s.recycle
+		}
 	}
 	return t
 }
@@ -239,18 +285,43 @@ func NewPlanTree(cond *join.Condition, windows []stream.Time, shape *Shape, k st
 // Push. A nil injector (the default) is a no-op on every check.
 func (t *PlanTree) SetInjector(inj *fault.Injector) { t.inject = inj }
 
+// SetBatch sets the leaf-release batch size (≤ 1 disables batching, the
+// default). Batching only amortizes the leaf-to-stage handoff; results, K
+// trajectories and adaptation decisions are bit-for-bit those of the
+// unbatched run because every state reader flushes first and cut points are
+// a pure function of the input sequence.
+func (t *PlanTree) SetBatch(n int) {
+	t.flushBatch()
+	t.batchCap = n
+}
+
+// flushBatch pushes every buffered leaf release into its stage, in the
+// exact global release order the unbatched run would have used.
+func (t *PlanTree) flushBatch() {
+	for i := 0; i < len(t.batch); i++ {
+		e := t.batch[i]
+		t.batch[i] = nil
+		t.leaves[e.Src].emit(e)
+	}
+	t.batch = t.batch[:0]
+}
+
 // build recursively compiles a shape node, returning its covered streams.
 // Stages are appended post-order, so children precede parents and the root
 // is last.
 func (t *PlanTree) build(sh *Shape, parent *pstage, side int, k stream.Time, claimed []bool) []int {
 	if sh.IsLeaf() {
 		st := sh.Stream
-		lf := &pleaf{stage: parent, side: side}
-		w := t.windows[st]
+		lf := &pleaf{stage: parent, side: side, src: st, w: t.windows[st]}
 		lf.ks = kslack.New(k, func(e *stream.Tuple) {
-			parts := make([]*stream.Tuple, t.m)
-			parts[st] = e
-			lf.stage.push(&event{ts: e.TS, deadline: e.TS + w, delay: e.Delay, parts: parts}, lf.side)
+			if t.batchCap > 1 {
+				t.batch = append(t.batch, e)
+				if len(t.batch) >= t.batchCap {
+					t.flushBatch()
+				}
+				return
+			}
+			lf.emit(e)
 		})
 		parent.leafBufs = append(parent.leafBufs, lf.ks)
 		t.leaves[st] = lf
@@ -346,8 +417,10 @@ func (t *PlanTree) SetStageK(ks []stream.Time) {
 	}
 }
 
-// Watermark returns the root stage's output progress onT.
+// Watermark returns the root stage's output progress onT, first flushing
+// any batched leaf releases so the reading reflects every pushed arrival.
 func (t *PlanTree) Watermark() stream.Time {
+	t.flushBatch()
 	return t.stages[len(t.stages)-1].onT
 }
 
@@ -365,6 +438,7 @@ func (t *PlanTree) setProdHook(f prodHookFunc) {
 // input that an adaptation decision must see. A no-op without sharded
 // stages.
 func (t *PlanTree) SyncBarrier() {
+	t.flushBatch()
 	for _, s := range t.stages {
 		if s.sh != nil {
 			s.sh.quiesce()
@@ -378,6 +452,7 @@ func (t *PlanTree) SyncBarrier() {
 // message in flight, so the worker windows are stable and readable from the
 // driver thread. A no-op without sharded stages.
 func (t *PlanTree) Quiesce() {
+	t.flushBatch()
 	for _, s := range t.stages {
 		if s.sh != nil {
 			s.sh.quiesce()
@@ -397,6 +472,7 @@ func (t *PlanTree) Finish() {
 	for _, lf := range t.leaves {
 		lf.ks.Flush()
 	}
+	t.flushBatch()
 	for _, s := range t.stages {
 		s.closeSide(sideLeft)
 		s.closeSide(sideRight)
@@ -538,6 +614,39 @@ func (s *pstage) closeSide(side int) {
 	s.drainSync()
 }
 
+// alloc hands out a recycled event (parts already all-nil) or a fresh one.
+// Driver-thread only.
+func (s *pstage) alloc() *event {
+	if n := len(s.free); n > 0 {
+		ev := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return ev
+	}
+	return &event{parts: make([]*stream.Tuple, s.tree.m)}
+}
+
+// recycle returns a dead event to the stage arena. Only events that can no
+// longer be referenced enter here: expired window entries and out-of-scope
+// drops. Events handed to the sink never come back (Partial exposes their
+// parts to the user).
+func (s *pstage) recycle(ev *event) {
+	clear(ev.parts)
+	ev.key = 0
+	s.free = append(s.free, ev)
+}
+
+// newOut allocates the destination event for a driver-thread combine: from
+// the parent stage's arena when the output will live in the parent's
+// driver-thread windows, plain otherwise (root outputs reach the user
+// through the sink; sharded parents expire on worker goroutines).
+func (s *pstage) newOut() *event {
+	if p := s.parent; p != nil && p.sh == nil {
+		return p.alloc()
+	}
+	return &event{parts: make([]*stream.Tuple, s.tree.m)}
+}
+
 // process is the binary Alg. 2 step on one synchronized event.
 func (s *pstage) process(ev *event, side int) {
 	if s.sh != nil {
@@ -561,6 +670,8 @@ func (s *pstage) process(ev *event, side int) {
 	}
 	if ev.deadline >= s.onT {
 		s.win[side].insert(ev)
+	} else {
+		s.recycle(ev)
 	}
 }
 
@@ -574,7 +685,7 @@ func (s *pstage) probe(ev *event, side int, opp *pwindow) int64 {
 			continue
 		}
 		if s.matchesInto(ev, cand, side, s.assign) {
-			s.output(s.combine(ev, cand, side))
+			s.output(s.combine(ev, cand, side, s.newOut()))
 			n++
 		}
 	}
@@ -637,36 +748,41 @@ func (s *pstage) matchesInto(ev, cand *event, side int, scratch []*stream.Tuple)
 			scratch[st] = t
 		}
 	}
-	for _, gi := range s.checks {
-		if !s.tree.cond.Generics[gi].Eval(scratch) {
+	for i, gi := range s.checks {
+		if p := s.progs[i]; p != nil {
+			if !p.Eval(scratch) {
+				return false
+			}
+		} else if !s.tree.cond.Generics[gi].Eval(scratch) {
 			return false
 		}
 	}
 	return true
 }
 
-// combine materializes the joined partial of ev and cand.
-func (s *pstage) combine(ev, cand *event, side int) *event {
-	parts := make([]*stream.Tuple, s.tree.m)
+// combine materializes the joined partial of ev and cand into out, whose
+// parts slice must be all-nil (a fresh allocation or an arena handout).
+func (s *pstage) combine(ev, cand *event, side int, out *event) *event {
 	for st, t := range ev.parts {
 		if t != nil {
-			parts[st] = t
+			out.parts[st] = t
 		}
 	}
 	for st, t := range cand.parts {
 		if t != nil {
-			parts[st] = t
+			out.parts[st] = t
 		}
 	}
-	ts := ev.ts
-	if cand.ts > ts {
-		ts = cand.ts
+	out.ts = ev.ts
+	if cand.ts > out.ts {
+		out.ts = cand.ts
 	}
-	deadline := ev.deadline
-	if cand.deadline < deadline {
-		deadline = cand.deadline
+	out.deadline = ev.deadline
+	if cand.deadline < out.deadline {
+		out.deadline = cand.deadline
 	}
-	return &event{ts: ts, deadline: deadline, delay: ev.delay, parts: parts}
+	out.delay = ev.delay
+	return out
 }
 
 // output hands a derived partial downstream, or to the sink at the root.
@@ -993,7 +1109,8 @@ func (w *pworker) step(m pmsg) {
 				continue
 			}
 			if s.matchesInto(m.ev, cand, side, w.scratch) {
-				outs = append(outs, s.combine(m.ev, cand, side))
+				out := &event{parts: make([]*stream.Tuple, s.tree.m)}
+				outs = append(outs, s.combine(m.ev, cand, side, out))
 			}
 		}
 		w.win[side].insert(m.ev)

@@ -229,14 +229,15 @@ func Soccer(cfg SoccerConfig) *Dataset {
 	// O(window) closure scan per probe to O(log n + box matches).
 	thr := cfg.ProximityM
 	thr2 := thr * thr
+	// The residual is given in expression form (WhereExpr, not a Where
+	// closure) so executors compile it to bytecode for the probe inner
+	// loop: dx² + dy² < thr².
+	dx := join.Sub(join.Attr(0, 1), join.Attr(1, 1))
+	dy := join.Sub(join.Attr(0, 2), join.Attr(1, 2))
 	cond := join.Cross(2).
 		Band(0, 1, 1, 1, thr).
 		Band(0, 2, 1, 2, thr).
-		Where([]int{0, 1}, func(assign []*stream.Tuple) bool {
-			dx := assign[0].Attr(1) - assign[1].Attr(1)
-			dy := assign[0].Attr(2) - assign[1].Attr(2)
-			return dx*dx+dy*dy < thr2
-		})
+		WhereExpr(join.Lt(join.Add(join.Mul(dx, dx), join.Mul(dy, dy)), join.ConstOf(thr2)))
 	return &Dataset{
 		Name:     "Dreal-x2 (simulated)",
 		M:        2,

@@ -91,29 +91,62 @@ func CellOwner(cell int64, n int) int {
 const hashMinCap = 16
 
 // Hash is an open-addressed hash index from uint64 keys (canonical float
-// bits, see KeyBits) to buckets of entries, with each entry's position
-// inside its bucket tracked for O(1) swap-delete. The zero value is not
-// usable; construct with NewHash.
+// bits, see KeyBits) to insertion-ordered buckets of entries. An earlier
+// revision tracked every entry's bucket position in a side map for O(1)
+// swap-delete; profiling showed the map's insert/delete on the window's
+// steady add/remove churn costing more than it saved. Buckets are instead
+// FIFO deques: sliding windows remove almost exactly in insertion order, so
+// Remove's front-pop fast path is O(1), and the rare out-of-order removal
+// shifts only the short prefix before the removed entry. The zero value is
+// not usable; construct with NewHash.
 type Hash[E comparable] struct {
-	keys  []uint64
-	vals  [][]E
-	used  []bool
+	slots []hslot[E]
 	n     int // occupied slots, including empty-bucket (dead) ones
+	count int // live entries across all buckets
 	shift uint
-	pos   map[E]int
+}
+
+// hslot is one open-addressing slot: key plus its bucket deque — the live
+// entries are data[head:]. A slot is occupied iff data is non-nil — claimed
+// buckets keep a non-nil (possibly empty) slice until a growth sweep drops
+// them, so no separate occupancy array is needed and a probe touches a
+// single contiguous array instead of three parallel ones. That locality
+// matters: Get is the single hottest call of the compiled probe kernel.
+type hslot[E comparable] struct {
+	key  uint64
+	head int32
+	data []E
+}
+
+// live returns the bucket's live view.
+func (s *hslot[E]) live() []E { return s.data[s.head:] }
+
+// compact moves the live region back to offset 0 once the dead prefix
+// reaches half the slice, keeping appends amortized alloc-free: with the
+// backing array at ≥2× the steady live size, the region slides inside it
+// without ever hitting cap.
+func (s *hslot[E]) compact() {
+	if h := int(s.head); h >= 8 && h*2 >= len(s.data) {
+		liveN := copy(s.data, s.data[h:])
+		tail := s.data[liveN:]
+		for i := range tail {
+			var zero E
+			tail[i] = zero
+		}
+		s.data = s.data[:liveN]
+		s.head = 0
+	}
 }
 
 // NewHash creates an empty hash index.
 func NewHash[E comparable]() *Hash[E] {
-	h := &Hash[E]{pos: map[E]int{}}
+	h := &Hash[E]{}
 	h.init(hashMinCap)
 	return h
 }
 
 func (h *Hash[E]) init(capacity int) {
-	h.keys = make([]uint64, capacity)
-	h.vals = make([][]E, capacity)
-	h.used = make([]bool, capacity)
+	h.slots = make([]hslot[E], capacity)
 	h.n = 0
 	h.shift = 64 - uint(bits.TrailingZeros(uint(capacity)))
 }
@@ -126,78 +159,87 @@ func (h *Hash[E]) hash(key uint64) uint64 {
 // view of internal storage; callers must not mutate or retain it across
 // Add/Remove calls.
 func (h *Hash[E]) Get(key uint64) []E {
-	mask := uint64(len(h.keys) - 1)
+	mask := uint64(len(h.slots) - 1)
 	for i := h.hash(key); ; i = (i + 1) & mask {
-		if !h.used[i] {
+		s := &h.slots[i]
+		if s.data == nil {
 			return nil
 		}
-		if h.keys[i] == key {
-			return h.vals[i]
+		if s.key == key {
+			return s.data[s.head:]
 		}
 	}
 }
 
-// Add appends e to the bucket for key, recording its position. A given
-// entry must be added at most once per Hash.
+// Add appends e to the bucket for key. A given entry must be added at most
+// once per Hash.
 func (h *Hash[E]) Add(key uint64, e E) {
-	b := h.bucket(key)
-	h.pos[e] = len(*b)
-	*b = append(*b, e)
+	s := h.bucket(key)
+	s.data = append(s.data, e)
+	h.count++
 }
 
-// Remove swap-deletes e from its bucket in O(1) using the recorded
-// position. Emptied buckets keep their table slot and capacity; the next
-// growth sweep drops them. The key must be present (every Remove pairs
-// with an earlier Add), so the slot probe never misses.
+// Remove deletes e from its bucket, preserving bucket order. Sliding windows
+// remove almost exactly in insertion order, so the front-pop fast path
+// covers nearly every call in O(1); an out-of-order removal shifts only the
+// (short) prefix in front of the removed entry. Emptied buckets keep their
+// table slot and capacity; the next growth sweep drops them. The key must
+// be present (every Remove pairs with an earlier Add), so the slot probe
+// never misses.
 func (h *Hash[E]) Remove(key uint64, e E) {
-	mask := uint64(len(h.keys) - 1)
+	mask := uint64(len(h.slots) - 1)
 	i := h.hash(key)
-	for h.keys[i] != key || !h.used[i] {
+	for h.slots[i].key != key || h.slots[i].data == nil {
 		i = (i + 1) & mask
 	}
-	b := &h.vals[i]
-	p := h.pos[e]
-	last := len(*b) - 1
-	if p != last {
-		moved := (*b)[last]
-		(*b)[p] = moved
-		h.pos[moved] = p
-	}
+	s := &h.slots[i]
 	var zero E
-	(*b)[last] = zero
-	*b = (*b)[:last]
-	delete(h.pos, e)
+	if s.data[s.head] != e {
+		// Out-of-order removal: shift the prefix right over the entry.
+		p := int(s.head) + 1
+		for s.data[p] != e {
+			p++
+		}
+		copy(s.data[s.head+1:p+1], s.data[s.head:p])
+	}
+	s.data[s.head] = zero
+	s.head++
+	h.count--
+	if int(s.head) == len(s.data) {
+		s.data = s.data[:0]
+		s.head = 0
+	} else {
+		s.compact()
+	}
 }
 
 // Len returns the number of entries currently held.
-func (h *Hash[E]) Len() int { return len(h.pos) }
+func (h *Hash[E]) Len() int { return h.count }
 
 // Reset drops all content, releasing the backing storage.
 func (h *Hash[E]) Reset() {
 	h.init(hashMinCap)
-	clear(h.pos)
+	h.count = 0
 }
 
 // bucket returns a pointer to the bucket slot for key, claiming a slot if
 // the key is new. New buckets are pre-sized so the first few appends do not
 // reallocate.
-func (h *Hash[E]) bucket(key uint64) *[]E {
-	if (h.n+1)*4 >= len(h.keys)*3 {
+func (h *Hash[E]) bucket(key uint64) *hslot[E] {
+	if (h.n+1)*4 >= len(h.slots)*3 {
 		h.grow()
 	}
-	mask := uint64(len(h.keys) - 1)
+	mask := uint64(len(h.slots) - 1)
 	for i := h.hash(key); ; i = (i + 1) & mask {
-		if !h.used[i] {
-			h.used[i] = true
-			h.keys[i] = key
+		s := &h.slots[i]
+		if s.data == nil {
+			s.key = key
+			s.data = make([]E, 0, 4)
 			h.n++
-			if h.vals[i] == nil {
-				h.vals[i] = make([]E, 0, 4)
-			}
-			return &h.vals[i]
+			return s
 		}
-		if h.keys[i] == key {
-			return &h.vals[i]
+		if s.key == key {
+			return s
 		}
 	}
 }
@@ -206,8 +248,8 @@ func (h *Hash[E]) bucket(key uint64) *[]E {
 // load, dropping dead entries accumulated since the last sweep.
 func (h *Hash[E]) grow() {
 	live := 0
-	for i, u := range h.used {
-		if u && len(h.vals[i]) > 0 {
+	for i := range h.slots {
+		if len(h.slots[i].live()) > 0 {
 			live++
 		}
 	}
@@ -215,18 +257,16 @@ func (h *Hash[E]) grow() {
 	for newCap < 4*(live+1) {
 		newCap *= 2
 	}
-	oldKeys, oldVals, oldUsed := h.keys, h.vals, h.used
+	old := h.slots
 	h.init(newCap)
 	mask := uint64(newCap - 1)
-	for i, u := range oldUsed {
-		if !u || len(oldVals[i]) == 0 {
+	for i := range old {
+		if len(old[i].live()) == 0 {
 			continue
 		}
-		for j := h.hash(oldKeys[i]); ; j = (j + 1) & mask {
-			if !h.used[j] {
-				h.used[j] = true
-				h.keys[j] = oldKeys[i]
-				h.vals[j] = oldVals[i]
+		for j := h.hash(old[i].key); ; j = (j + 1) & mask {
+			if h.slots[j].data == nil {
+				h.slots[j] = old[i]
 				h.n++
 				break
 			}

@@ -77,7 +77,7 @@ func TestHashGrowDropsDeadBuckets(t *testing.T) {
 		}
 		prev = e
 	}
-	if n := len(h.keys); n > 1024 {
+	if n := len(h.slots); n > 1024 {
 		t.Fatalf("table capacity %d after sliding a 1-entry working set — dead buckets not recycled", n)
 	}
 }

@@ -1,0 +1,45 @@
+package join
+
+import "repro/internal/stream"
+
+// Columnar batch entry points. A batch is a short run of synchronizer output
+// released together; the operator consumes it with exactly the per-tuple
+// semantics of Process/ProcessAt, tuple by tuple in slice order, so results,
+// watermark trajectory and profiler callbacks are independent of where the
+// runtime cuts batch boundaries. That independence is the batching layer's
+// correctness contract: callers may cut batches anywhere (including
+// batch-of-1) as long as they flush before any decision that reads operator
+// state — watermark reads, adaptation boundaries, checkpoints, quiescence.
+// What batching buys is amortization around the kernel, not different
+// semantics: one call (and, in the sharded runtime, one channel message and
+// one cache-warm pass over the compiled plan) covers many tuples.
+
+// ProcessBatch consumes a batch in order, tracking the watermark from the
+// tuples themselves exactly as Process does, and returns the total number of
+// results derived.
+func (o *Operator) ProcessBatch(es []*stream.Tuple) int64 {
+	var total int64
+	for _, e := range es {
+		wm := o.onT
+		if e.TS > wm {
+			wm = e.TS
+		}
+		total += o.ProcessAt(e, wm)
+	}
+	return total
+}
+
+// ProcessBatchAt consumes a batch under externally supplied per-tuple
+// watermarks (the sharded runtime's globally synchronized watermarks; see
+// ProcessAt). onTuple, when non-nil, is invoked with each tuple's index and
+// derived result count after that tuple is fully processed and before the
+// next one starts — the ordering contract per-result emit callbacks rely on
+// to attribute results to the in-flight tuple.
+func (o *Operator) ProcessBatchAt(es []*stream.Tuple, wms []stream.Time, onTuple func(i int, nOn int64)) {
+	for i, e := range es {
+		nOn := o.ProcessAt(e, wms[i])
+		if onTuple != nil {
+			onTuple(i, nOn)
+		}
+	}
+}

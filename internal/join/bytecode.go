@@ -1,0 +1,192 @@
+package join
+
+// The residual-predicate bytecode. CompileExpr flattens an Expr tree into a
+// postorder instruction sequence for a small stack machine: attribute loads,
+// constants, float arithmetic, comparisons and boolean connectives, with
+// truth values represented as 1/0 floats on the same stack. Evaluation is
+// one tight loop over the instruction array — no closure calls, no
+// recursion, no allocation (the operand stack is a fixed-size local array,
+// which also makes a Prog safe for concurrent Eval from several workers).
+//
+// Equivalence to the interpreter: every instruction performs exactly the
+// IEEE-754 operation its Expr node's interpreter case performs, and the
+// postorder flattening preserves operand evaluation order, so Eval returns
+// bit-for-bit the same truth value as Expr.EvalBool. The connectives are the
+// only divergence in *work done*: the VM always evaluates both operands
+// where the interpreter short-circuits — sound because expressions are pure
+// (attribute loads and arithmetic have no side effects), so the skipped
+// subtree can only produce a value whose consumption AND/OR would ignore
+// anyway.
+
+import (
+	"math"
+
+	"repro/internal/stream"
+)
+
+// VM opcodes. Binary ops pop y then x and push the result.
+const (
+	bcAttr  = iota // push assign[a].Attr(b)
+	bcConst        // push constant c
+	bcAdd
+	bcSub
+	bcMul
+	bcDiv
+	bcNeg
+	bcAbs
+	bcMin
+	bcMax
+	bcLT
+	bcLE
+	bcGT
+	bcGE
+	bcEQ
+	bcNE
+	bcAnd
+	bcOr
+	bcNot
+)
+
+// bcMaxStack bounds the operand stack of the VM; CompileExpr rejects deeper
+// expressions (callers fall back to the interpreter, which recurses).
+const bcMaxStack = 32
+
+// instr is one VM instruction.
+type instr struct {
+	op   uint8
+	a, b int32   // bcAttr: stream, attribute
+	c    float64 // bcConst: immediate
+}
+
+// Prog is a compiled boolean expression. Eval is safe for concurrent use.
+type Prog struct {
+	code []instr
+}
+
+// CompileExpr compiles a boolean expression into bytecode, or returns nil
+// when the expression is too deep for the fixed VM stack (callers keep the
+// tree interpreter as the escape hatch; results are identical either way).
+func CompileExpr(e *Expr) *Prog {
+	if e == nil || !e.isBool() {
+		return nil
+	}
+	p := &Prog{}
+	depth, max := 0, 0
+	var emit func(n *Expr) bool
+	emit = func(n *Expr) bool {
+		if n.x != nil {
+			if !emit(n.x) {
+				return false
+			}
+		}
+		if n.y != nil {
+			if !emit(n.y) {
+				return false
+			}
+		}
+		// Stack effect: leaves push one; binary ops pop two, push one;
+		// unary ops are neutral.
+		switch n.kind {
+		case exAttr, exConst:
+			depth++
+		case exNeg, exAbs, exNot:
+			// neutral
+		default:
+			depth--
+		}
+		if depth > max {
+			max = depth
+		}
+		if max > bcMaxStack {
+			return false
+		}
+		switch n.kind {
+		case exAttr:
+			p.code = append(p.code, instr{op: bcAttr, a: int32(n.stream), b: int32(n.attr)})
+		case exConst:
+			p.code = append(p.code, instr{op: bcConst, c: n.c})
+		default:
+			// The Expr and VM opcode tables are aligned by construction.
+			p.code = append(p.code, instr{op: uint8(n.kind)})
+		}
+		return true
+	}
+	if !emit(e) {
+		return nil
+	}
+	return p
+}
+
+// Eval runs the program against an assignment with every referenced stream
+// bound, returning the predicate's truth value.
+func (p *Prog) Eval(assign []*stream.Tuple) bool {
+	var stack [bcMaxStack]float64
+	sp := 0
+	for i := range p.code {
+		in := &p.code[i]
+		switch in.op {
+		case bcAttr:
+			stack[sp] = assign[in.a].Attr(int(in.b))
+			sp++
+		case bcConst:
+			stack[sp] = in.c
+			sp++
+		case bcAdd:
+			sp--
+			stack[sp-1] = stack[sp-1] + stack[sp]
+		case bcSub:
+			sp--
+			stack[sp-1] = stack[sp-1] - stack[sp]
+		case bcMul:
+			sp--
+			stack[sp-1] = stack[sp-1] * stack[sp]
+		case bcDiv:
+			sp--
+			stack[sp-1] = stack[sp-1] / stack[sp]
+		case bcNeg:
+			stack[sp-1] = -stack[sp-1]
+		case bcAbs:
+			stack[sp-1] = math.Abs(stack[sp-1])
+		case bcMin:
+			sp--
+			stack[sp-1] = math.Min(stack[sp-1], stack[sp])
+		case bcMax:
+			sp--
+			stack[sp-1] = math.Max(stack[sp-1], stack[sp])
+		case bcLT:
+			sp--
+			stack[sp-1] = b2f(stack[sp-1] < stack[sp])
+		case bcLE:
+			sp--
+			stack[sp-1] = b2f(stack[sp-1] <= stack[sp])
+		case bcGT:
+			sp--
+			stack[sp-1] = b2f(stack[sp-1] > stack[sp])
+		case bcGE:
+			sp--
+			stack[sp-1] = b2f(stack[sp-1] >= stack[sp])
+		case bcEQ:
+			sp--
+			stack[sp-1] = b2f(stack[sp-1] == stack[sp])
+		case bcNE:
+			sp--
+			stack[sp-1] = b2f(stack[sp-1] != stack[sp])
+		case bcAnd:
+			sp--
+			stack[sp-1] = stack[sp-1] * stack[sp] // both are 1/0
+		case bcOr:
+			sp--
+			stack[sp-1] = b2f(stack[sp-1]+stack[sp] != 0) // both are 1/0
+		case bcNot:
+			stack[sp-1] = 1 - stack[sp-1]
+		}
+	}
+	return stack[0] != 0
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

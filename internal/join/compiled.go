@@ -1,0 +1,474 @@
+package join
+
+// The compiled probe kernel. buildPlans produces a symbolic plan — per step,
+// lists of lookups naming window attributes to probe; the interpreted search
+// path (operator.go) resolves every probe through Window.Match/MatchRange,
+// which scan the window's index table for the attribute on every call.
+// compilePlans lowers each plan once, at operator construction, into csteps
+// holding *direct handles* to the hash/range index structures plus flattened
+// residual filters, so the steady-state probe loop touches no per-call
+// dispatch: an equi step is one KeyBits + one open-addressed Get, a band step
+// one sorted range view, residuals are straight-line float compares, and
+// generic predicates added through WhereExpr run as bytecode (bytecode.go)
+// instead of closure calls.
+//
+// # Equivalence-class rewrite
+//
+// Compilation additionally rewrites each probe's bound reference to the
+// earliest-bound member of its equality class. The classes are built
+// incrementally in step order from the plan's own equi lookups: executing the
+// lookup own == bound guarantees every surviving candidate satisfies exact
+// float equality, so a later step's reference to (stream, attr) may read the
+// equal value from any stream bound earlier that the executed lookups connect
+// it to. The rewrite is exact, not heuristic:
+//
+//   - hash buckets are float-equality classes (KeyBits collapses ±0 and
+//     rejects NaN, and x == y for floats iff KeyBits(x) == KeyBits(y) for the
+//     non-NaN values that can reach a bucket), so probing with an equal value
+//     returns the identical bucket view — same tuples, same order;
+//   - residual equi (!=) and band (difference-form) checks are invariant
+//     under replacing an operand with a float-equal value (the only bit-level
+//     difference, ±0, compares equal and produces a ±0 difference that the
+//     closed band treats identically).
+//
+// The payoff is countability: in a chain S0.a = S1.a = S2.a the symbolic plan
+// for arriving S0 probes S2 with S1's value, so the tail is not countable
+// from step 0 (it references a stream bound mid-plan); after the rewrite both
+// probes read the arriving tuple and the whole plan collapses to two hash
+// gets and a multiply. countableTail is therefore recomputed on the compiled
+// steps, never copied from the symbolic plan.
+
+import (
+	"repro/internal/index"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+// cref names the source of a probe value in the current assignment:
+// assign[stream].Attr(attr).
+type cref struct {
+	stream, attr int
+}
+
+// ceq is a compiled residual equi filter: cand.Attr(ownAttr) must equal the
+// referenced value exactly.
+type ceq struct {
+	ownAttr int
+	ref     cref
+}
+
+// cband is a compiled residual band filter in exact difference form:
+// cand.Attr(ownAttr) − ref ∈ [−eps, eps].
+type cband struct {
+	ownAttr int
+	ref     cref
+	eps     float64
+}
+
+// cstep probes one stream through direct index handles. At most one of hash
+// and rng is non-nil (the base candidate probe); with neither the step scans
+// the whole window. All band lookups stay in resBand even when one of them
+// is the base range probe — the range view is a widened superset (bandRange)
+// and the exact difference form decides membership, exactly as in the
+// interpreted path.
+type cstep struct {
+	stream int
+	win    *window.Window
+
+	hash    *index.Hash[*stream.Tuple]
+	hashRef cref
+
+	rng    *index.Sorted[*stream.Tuple]
+	rngRef cref
+	rngEps float64
+
+	resEq   []ceq
+	resBand []cband
+
+	checks []int   // indexes into Condition.Generics
+	progs  []*Prog // parallel to checks; nil entry → interpreted Eval
+
+	countableTail bool
+
+	// tailFused marks the fused counting loop for the hottest enumeration
+	// shape: this step must enumerate its candidates (its own count depends
+	// on the choice), but every later step is a pure single-equi countable
+	// step and no generic checks remain. Each tail step is then one hash
+	// bucket length; searchC multiplies them per candidate without
+	// recursing. Probes whose reference reads the enumerated candidate
+	// (tailCand) run inside the candidate loop straight off the candidate
+	// tuple; probes bound to earlier streams (tailFixed) are invariant
+	// across candidates and are hoisted out, computed once per probe.
+	// Semantically identical to the recursive path: it is the countableTail
+	// product with the call tree flattened and the loop-invariant factors
+	// pulled out.
+	tailFused bool
+	tailCand  []tailProbe // refs read attr of this step's own candidate
+	tailFixed []tailProbe // refs read streams bound before this step
+}
+
+// tailProbe is one fused tail count: len(hash bucket keyed by the referenced
+// value); for tailCand entries ref.attr is read from the candidate itself.
+type tailProbe struct {
+	hash *index.Hash[*stream.Tuple]
+	ref  cref
+}
+
+// cplan is the compiled probe order for one arriving stream.
+type cplan struct {
+	steps []cstep
+}
+
+// compileProgs compiles every WhereExpr generic predicate to bytecode once
+// per operator; index gi holds nil for opaque closures (and for expressions
+// too deep for the VM), which keep the interpreted Eval.
+func compileProgs(cond *Condition) []*Prog {
+	progs := make([]*Prog, len(cond.Generics))
+	for gi := range cond.Generics {
+		progs[gi] = CompileExpr(cond.Generics[gi].Expr)
+	}
+	return progs
+}
+
+// compilePlans lowers the symbolic plans into compiled plans against the
+// operator's windows.
+func compilePlans(cond *Condition, plans []plan, windows []*window.Window, progs []*Prog) []cplan {
+	out := make([]cplan, len(plans))
+	for s := range plans {
+		out[s] = compilePlan(cond, s, plans[s], windows, progs)
+	}
+	return out
+}
+
+func compilePlan(cond *Condition, arriving int, p plan, windows []*window.Window, progs []*Prog) cplan {
+	// canon maps an attribute reference to an exactly-equal reference on an
+	// earlier-bound stream, derived from the equi lookups already executed.
+	// resolve chases chains to the earliest-bound representative; entries are
+	// only ever added for the stream a step just bound, so every ref a later
+	// step resolves is justified by lookups that executed before it.
+	canon := map[cref]cref{}
+	resolve := func(r cref) cref {
+		for {
+			c, ok := canon[r]
+			if !ok {
+				return r
+			}
+			r = c
+		}
+	}
+
+	steps := make([]cstep, len(p))
+	for i := range p {
+		st := &p[i]
+		cs := &steps[i]
+		cs.stream = st.stream
+		cs.win = windows[st.stream]
+		switch {
+		case len(st.lookups) > 0:
+			l0 := st.lookups[0]
+			cs.hash = cs.win.HashIndex(l0.ownAttr)
+			if cs.hash == nil {
+				panic("join: compiled plan probes an unindexed equi attribute")
+			}
+			cs.hashRef = resolve(cref{l0.boundStream, l0.boundAttr})
+			for _, l := range st.lookups[1:] {
+				cs.resEq = append(cs.resEq, ceq{l.ownAttr, resolve(cref{l.boundStream, l.boundAttr})})
+			}
+			for _, b := range st.bands {
+				cs.resBand = append(cs.resBand, cband{b.ownAttr, resolve(cref{b.boundStream, b.boundAttr}), b.eps})
+			}
+		case len(st.bands) > 0:
+			b0 := st.bands[0]
+			cs.rng = cs.win.RangeIndex(b0.ownAttr)
+			if cs.rng == nil {
+				panic("join: compiled plan probes an unindexed band attribute")
+			}
+			cs.rngRef = resolve(cref{b0.boundStream, b0.boundAttr})
+			cs.rngEps = b0.eps
+			for _, b := range st.bands {
+				cs.resBand = append(cs.resBand, cband{b.ownAttr, resolve(cref{b.boundStream, b.boundAttr}), b.eps})
+			}
+		}
+		cs.checks = st.checks
+		for _, gi := range st.checks {
+			cs.progs = append(cs.progs, progs[gi])
+		}
+		// Register this step's equalities for later steps. First writer wins
+		// when two lookups share an own attribute; either target is exact.
+		for _, l := range st.lookups {
+			own := cref{st.stream, l.ownAttr}
+			if _, dup := canon[own]; !dup {
+				canon[own] = resolve(cref{l.boundStream, l.boundAttr})
+			}
+		}
+	}
+	markCountableTailsC(arriving, steps, cond.M)
+	for i := range steps {
+		fuseTail(steps, i)
+	}
+	return cplan{steps: steps}
+}
+
+// fuseTail builds the fused tail probes for step i, or leaves the step
+// unfused when the tail after i is not a pure single-equi counting chain
+// (see cstep.tailFused).
+func fuseTail(steps []cstep, i int) {
+	cs := &steps[i]
+	if cs.countableTail || len(cs.checks) > 0 || i+1 >= len(steps) || !steps[i+1].countableTail {
+		return
+	}
+	var cand, fixed []tailProbe
+	for j := i + 1; j < len(steps); j++ {
+		t := &steps[j]
+		if t.hash == nil || t.hasResiduals() || len(t.checks) > 0 {
+			return
+		}
+		tp := tailProbe{hash: t.hash, ref: t.hashRef}
+		if t.hashRef.stream == cs.stream {
+			cand = append(cand, tp)
+		} else {
+			fixed = append(fixed, tp)
+		}
+	}
+	cs.tailFused = true
+	cs.tailCand = cand
+	cs.tailFixed = fixed
+}
+
+// markCountableTailsC recomputes countableTail on the compiled steps, whose
+// rewritten references are often strictly earlier-bound than the symbolic
+// plan's (see the package comment on the equivalence rewrite). Same backward
+// pass as markCountableTails.
+func markCountableTailsC(arriving int, steps []cstep, m int) {
+	words := len(newBitset(m))
+	backing := make([]uint64, (len(steps)+1)*words)
+	cur := bitset(backing[:words])
+	cur.set(arriving)
+	prefixes := make([]bitset, len(steps))
+	for i := range steps {
+		prefixes[i] = bitset(backing[(i+1)*words : (i+2)*words])
+		prefixes[i].copyFrom(cur)
+		cur.set(steps[i].stream)
+	}
+	refs := newBitset(m)
+	tailOK := true
+	for i := len(steps) - 1; i >= 0; i-- {
+		cs := &steps[i]
+		if len(cs.checks) > 0 {
+			tailOK = false
+		}
+		if cs.hash != nil {
+			refs.set(cs.hashRef.stream)
+		}
+		if cs.rng != nil {
+			refs.set(cs.rngRef.stream)
+		}
+		for j := range cs.resEq {
+			refs.set(cs.resEq[j].ref.stream)
+		}
+		for j := range cs.resBand {
+			refs.set(cs.resBand[j].ref.stream)
+		}
+		cs.countableTail = tailOK && refs.subset(prefixes[i])
+	}
+}
+
+// base returns the step's base candidate view: hash bucket, widened range
+// view, or the whole window. Views are index-internal storage; never
+// retained.
+func (cs *cstep) base(assign []*stream.Tuple) []*stream.Tuple {
+	if cs.hash != nil {
+		bits, ok := index.KeyBits(assign[cs.hashRef.stream].Attr(cs.hashRef.attr))
+		if !ok {
+			return nil // NaN never equi-matches
+		}
+		return cs.hash.Get(bits)
+	}
+	if cs.rng != nil {
+		lo, hi, ok := bandRange(assign[cs.rngRef.stream].Attr(cs.rngRef.attr), cs.rngEps)
+		if !ok {
+			return nil
+		}
+		return cs.rng.Range(lo, hi)
+	}
+	return cs.win.All()
+}
+
+// filter applies the step's residual equi and band checks to one candidate.
+func (cs *cstep) filter(cand *stream.Tuple, assign []*stream.Tuple) bool {
+	for i := range cs.resEq {
+		r := &cs.resEq[i]
+		if cand.Attr(r.ownAttr) != assign[r.ref.stream].Attr(r.ref.attr) {
+			return false
+		}
+	}
+	for i := range cs.resBand {
+		b := &cs.resBand[i]
+		d := cand.Attr(b.ownAttr) - assign[b.ref.stream].Attr(b.ref.attr)
+		// Negated form: NaN (all comparisons false) never band-matches.
+		if !(d >= -b.eps && d <= b.eps) {
+			return false
+		}
+	}
+	return true
+}
+
+// hasResiduals reports whether the step filters beyond its base probe.
+func (cs *cstep) hasResiduals() bool { return len(cs.resEq) > 0 || len(cs.resBand) > 0 }
+
+// ccount counts a step's candidates without materializing them.
+func (cs *cstep) ccount(assign []*stream.Tuple) int64 {
+	base := cs.base(assign)
+	if !cs.hasResiduals() {
+		return int64(len(base))
+	}
+	var n int64
+	for _, cand := range base {
+		if cs.filter(cand, assign) {
+			n++
+		}
+	}
+	return n
+}
+
+// ccandidates returns the step's filtered candidates, reusing the level's
+// scratch buffer when residuals force a copy.
+func (o *Operator) ccandidates(cs *cstep, lvl int, assign []*stream.Tuple) []*stream.Tuple {
+	base := cs.base(assign)
+	if !cs.hasResiduals() {
+		return base
+	}
+	old := o.scratch[lvl]
+	out := old[:0]
+	for _, cand := range base {
+		if cs.filter(cand, assign) {
+			out = append(out, cand)
+		}
+	}
+	// Nil the stale tail so the scratch buffer does not pin expired tuples.
+	for i := len(out); i < len(old); i++ {
+		old[i] = nil
+	}
+	o.scratch[lvl] = out
+	return out
+}
+
+// cchecks evaluates the step's generic predicates — bytecode when compiled,
+// the interpreted Eval closure otherwise.
+func (o *Operator) cchecks(cs *cstep, assign []*stream.Tuple) bool {
+	for k, gi := range cs.checks {
+		if p := cs.progs[k]; p != nil {
+			if !p.Eval(assign) {
+				return false
+			}
+		} else if !o.cond.Generics[gi].Eval(assign) {
+			return false
+		}
+	}
+	return true
+}
+
+// searchC is the compiled counterpart of search: identical enumeration
+// order, identical counting fast path, direct index handles.
+func (o *Operator) searchC(cp *cplan, lvl int, assign []*stream.Tuple) int64 {
+	steps := cp.steps
+	if lvl == len(steps) {
+		if o.emit != nil {
+			tuples := make([]*stream.Tuple, len(assign))
+			copy(tuples, assign)
+			o.emit(stream.NewResult(tuples))
+		}
+		return 1
+	}
+	cs := &steps[lvl]
+	if cs.countableTail && o.emit == nil {
+		var prod int64 = 1
+		for j := lvl; j < len(steps); j++ {
+			prod *= steps[j].ccount(assign)
+			if prod == 0 {
+				return 0
+			}
+		}
+		return prod
+	}
+	var n int64
+	cands := o.ccandidates(cs, lvl, assign)
+	if cs.tailFused && o.emit == nil {
+		// Fused per-candidate counting: multiply tail bucket lengths inline.
+		// Probes bound to earlier streams are invariant across candidates;
+		// compute their product once, and skip the whole enumeration when it
+		// is already zero.
+		fixed := int64(1)
+		for k := range cs.tailFixed {
+			tp := &cs.tailFixed[k]
+			bits, ok := index.KeyBits(assign[tp.ref.stream].Attr(tp.ref.attr))
+			if !ok {
+				return 0
+			}
+			if fixed *= int64(len(tp.hash.Get(bits))); fixed == 0 {
+				return 0
+			}
+		}
+		switch len(cs.tailCand) {
+		case 0:
+			// All tail probes were invariant: every candidate contributes the
+			// same fixed product. (Unreachable when the planner already
+			// marked this step countable, but kept for completeness.)
+			return int64(len(cands)) * fixed
+		case 1:
+			tp := &cs.tailCand[0]
+			a := tp.ref.attr
+			for _, cand := range cands {
+				if bits, ok := index.KeyBits(cand.Attr(a)); ok {
+					n += fixed * int64(len(tp.hash.Get(bits)))
+				}
+			}
+			return n
+		case 2:
+			// The star join's spoke-arrival shape: two per-candidate bucket
+			// counts, multiplied inline.
+			tp0, tp1 := &cs.tailCand[0], &cs.tailCand[1]
+			a0, a1 := tp0.ref.attr, tp1.ref.attr
+			for _, cand := range cands {
+				bits0, ok := index.KeyBits(cand.Attr(a0))
+				if !ok {
+					continue
+				}
+				n0 := int64(len(tp0.hash.Get(bits0)))
+				if n0 == 0 {
+					continue
+				}
+				bits1, ok := index.KeyBits(cand.Attr(a1))
+				if !ok {
+					continue
+				}
+				n += fixed * n0 * int64(len(tp1.hash.Get(bits1)))
+			}
+			return n
+		}
+		for _, cand := range cands {
+			prod := fixed
+			for k := range cs.tailCand {
+				tp := &cs.tailCand[k]
+				bits, ok := index.KeyBits(cand.Attr(tp.ref.attr))
+				if !ok {
+					prod = 0
+					break
+				}
+				if prod *= int64(len(tp.hash.Get(bits))); prod == 0 {
+					break
+				}
+			}
+			n += prod
+		}
+		return n
+	}
+	for _, cand := range cands {
+		assign[cs.stream] = cand
+		if o.cchecks(cs, assign) {
+			n += o.searchC(cp, lvl+1, assign)
+		}
+	}
+	assign[cs.stream] = nil
+	return n
+}

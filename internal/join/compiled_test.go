@@ -1,0 +1,178 @@
+package join
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stream"
+)
+
+// randCond builds a random connected m-way condition: each stream i > 0 is
+// linked to an earlier stream by an equi or band predicate, then extra
+// edges, a generic WhereExpr and a closure-only Where are sprinkled on top.
+func randCond(rng *rand.Rand, m int) *Condition {
+	c := Cross(m)
+	for i := 1; i < m; i++ {
+		j := rng.Intn(i)
+		if rng.Intn(2) == 0 {
+			c.Equi(j, rng.Intn(2), i, rng.Intn(2))
+		} else {
+			c.Band(j, rng.Intn(2), i, rng.Intn(2), float64(rng.Intn(3)))
+		}
+	}
+	if rng.Intn(2) == 0 { // extra redundant edge
+		a, b := rng.Intn(m), rng.Intn(m)
+		if a != b {
+			c.Equi(a, 0, b, 0)
+		}
+	}
+	if rng.Intn(2) == 0 { // compilable generic
+		c.WhereExpr(Le(Abs(Sub(Attr(0, 1), Attr(m-1, 1))), ConstOf(float64(rng.Intn(4)))))
+	}
+	if rng.Intn(3) == 0 { // closure-only generic: forces the Eval escape hatch
+		c.Where([]int{0, m - 1}, func(a []*stream.Tuple) bool {
+			return a[0].Attrs[0] <= a[m-1].Attrs[0]+2
+		})
+	}
+	return c
+}
+
+func randTuples(rng *rand.Rand, m, n int) []*stream.Tuple {
+	es := make([]*stream.Tuple, n)
+	for i := range es {
+		ts := stream.Time(i)
+		if rng.Intn(4) == 0 && i > 3 { // out-of-order arrival
+			ts = stream.Time(i - 1 - rng.Intn(3))
+		}
+		es[i] = tup(rng.Intn(m), ts, uint64(i),
+			float64(rng.Intn(5)), float64(rng.Intn(5)))
+	}
+	return es
+}
+
+func resultSig(r stream.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "@%d:", r.TS)
+	for _, t := range r.Tuples {
+		fmt.Fprintf(&b, "(%d,%d)", t.Src, t.Seq)
+	}
+	return b.String()
+}
+
+// TestCompiledCountableTail4Way pins the compiled countableTail/tailFused
+// flags on a 4-way mixed plan — equi chain ends, a band link in the middle,
+// and a generic predicate over streams {0,1}:
+//
+//	S0.a0 = S1.a0,  |S1.a1 − S2.a1| ≤ 1.5,  S2.a0 = S3.a0,  S0.a1 < S1.a1
+//
+// The check anchors on the step binding the later of {0,1}, killing every
+// tail that contains it; the band step cannot count its tail because the
+// final equi probe reads the band candidate itself — but exactly that shape
+// fuses (tailFused with one per-candidate probe); and the pure single-equi
+// last step of the arrival-0/1 plans is tail-countable.
+func TestCompiledCountableTail4Way(t *testing.T) {
+	cond := Cross(4).
+		Equi(0, 0, 1, 0).
+		Band(1, 1, 2, 1, 1.5).
+		Equi(2, 0, 3, 0).
+		WhereExpr(Lt(Attr(0, 1), Attr(1, 1)))
+	op := New(cond, []stream.Time{10, 10, 10, 10})
+
+	type pin struct {
+		order     []int
+		countable []bool
+		fused     []bool
+	}
+	want := []pin{
+		// Arrival 0: [1 2 3]; the generic lands on the step binding 1, the
+		// band step's tail hangs on its own candidate (fused), the final
+		// equi is countable.
+		0: {[]int{1, 2, 3}, []bool{false, false, true}, []bool{false, true, false}},
+		// Arrival 1: equi preferred over band → [0 2 3]; same tail shape.
+		1: {[]int{0, 2, 3}, []bool{false, false, true}, []bool{false, true, false}},
+		// Arrivals 2/3: the check binds last (stream 0 joins at the end), so
+		// no tail is countable and nothing fuses behind a check.
+		2: {[]int{3, 1, 0}, []bool{false, false, false}, []bool{false, false, false}},
+		3: {[]int{2, 1, 0}, []bool{false, false, false}, []bool{false, false, false}},
+	}
+	for src, w := range want {
+		steps := op.cplans[src].steps
+		for i := range steps {
+			if steps[i].stream != w.order[i] {
+				t.Errorf("arrival %d step %d: binds stream %d, want %d", src, i, steps[i].stream, w.order[i])
+			}
+			if steps[i].countableTail != w.countable[i] {
+				t.Errorf("arrival %d step %d (stream %d): countableTail %v, want %v",
+					src, i, steps[i].stream, steps[i].countableTail, w.countable[i])
+			}
+			if steps[i].tailFused != w.fused[i] {
+				t.Errorf("arrival %d step %d (stream %d): tailFused %v, want %v",
+					src, i, steps[i].stream, steps[i].tailFused, w.fused[i])
+			}
+		}
+	}
+}
+
+// TestCompiledMatchesInterpreted drives random workloads through the
+// compiled probe kernel and the interpreted reference, asserting the exact
+// emitted result sequence (order included) and, with emit disabled (which
+// re-enables the countable fast paths), the exact per-tuple counts.
+func TestCompiledMatchesInterpreted(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(3)
+		cond := randCond(rng, m)
+		sizes := make([]stream.Time, m)
+		for i := range sizes {
+			sizes[i] = stream.Time(3 + rng.Intn(5))
+		}
+		es := randTuples(rng, m, 300)
+
+		var a, b []string
+		opC := New(cond, sizes, WithEmit(func(r stream.Result) { a = append(a, resultSig(r)) }))
+		opI := New(cond, sizes, WithEmit(func(r stream.Result) { b = append(b, resultSig(r)) }))
+		opI.interp = true
+		for _, e := range es {
+			opC.Process(e)
+			opI.Process(e)
+		}
+		if len(a) != len(b) {
+			t.Logf("seed %d: %d results compiled, %d interpreted", seed, len(a), len(b))
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Logf("seed %d: result %d: compiled %s, interpreted %s", seed, i, a[i], b[i])
+				return false
+			}
+		}
+
+		// Counting-only mode: the countable/fused fast paths come alive.
+		cntC := New(cond, sizes)
+		cntI := New(cond, sizes)
+		cntI.interp = true
+		for i, e := range es {
+			wm := cntC.HighWatermark()
+			if e.TS > wm {
+				wm = e.TS
+			}
+			nc := cntC.ProcessAt(e, wm)
+			ni := cntI.ProcessAt(e, wm)
+			if nc != ni {
+				t.Logf("seed %d tuple %d: compiled count %d, interpreted %d", seed, i, nc, ni)
+				return false
+			}
+		}
+		if cntC.Results() != int64(len(a)) {
+			t.Logf("seed %d: counted %d, emitted %d", seed, cntC.Results(), len(a))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -40,6 +40,11 @@ type BandPredicate struct {
 type GenericPredicate struct {
 	Streams []int
 	Eval    func(assign []*stream.Tuple) bool
+	// Expr is the compilable expression form when the predicate was added
+	// through WhereExpr; executors compile it to bytecode for the probe
+	// inner loop. Nil for opaque Where closures, which Eval then carries —
+	// the escape hatch for predicates outside the expression language.
+	Expr *Expr
 }
 
 // Condition is a conjunction of equi-, band- and generic predicates over M

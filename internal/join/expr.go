@@ -1,0 +1,263 @@
+package join
+
+// Compilable predicate expressions. A generic predicate registered through
+// Where is an opaque Go closure: correct, but every candidate pair pays a
+// closure call (and whatever pointer chasing the closure body does). WhereExpr
+// instead accepts a small expression tree over stream attributes; the
+// condition keeps the exact same reference semantics (the tree is interpreted
+// by Eval, so Matches is unchanged), while executors compile the tree into a
+// flat stack bytecode program (bytecode.go) evaluated without any calls in
+// the probe inner loop. The tree-walking interpreter and the bytecode VM
+// perform the identical IEEE-754 operations in the identical order, so their
+// results are bit-for-bit equal — the raw closure form stays available as the
+// escape hatch for predicates that do not fit the expression language.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/stream"
+)
+
+// expression node kinds. Numeric nodes produce a float64; boolean nodes
+// produce a truth value (represented as 1/0 on the VM stack).
+const (
+	exAttr = iota // numeric: assign[stream].Attr(attr)
+	exConst
+	exAdd
+	exSub
+	exMul
+	exDiv
+	exNeg
+	exAbs
+	exMin
+	exMax
+	exLT // boolean comparisons over numeric operands
+	exLE
+	exGT
+	exGE
+	exEQ
+	exNE
+	exAnd // boolean connectives over boolean operands
+	exOr
+	exNot
+)
+
+// Expr is one node of a compilable predicate expression. Build trees with
+// the package constructors (Attr, ConstOf, Add, Lt, And, …) and attach them
+// with Condition.WhereExpr. An Expr is immutable once built and may be
+// shared between conditions.
+type Expr struct {
+	kind         int
+	x, y         *Expr
+	stream, attr int
+	c            float64
+}
+
+// Attr references attribute attr of the tuple bound for stream. Out-of-range
+// attribute positions evaluate to 0, matching stream.Tuple.Attr.
+func Attr(stream, attr int) *Expr { return &Expr{kind: exAttr, stream: stream, attr: attr} }
+
+// ConstOf is a numeric constant.
+func ConstOf(v float64) *Expr { return &Expr{kind: exConst, c: v} }
+
+// Add is x + y.
+func Add(x, y *Expr) *Expr { return binNum(exAdd, x, y) }
+
+// Sub is x − y.
+func Sub(x, y *Expr) *Expr { return binNum(exSub, x, y) }
+
+// Mul is x · y.
+func Mul(x, y *Expr) *Expr { return binNum(exMul, x, y) }
+
+// Div is x / y with IEEE-754 semantics (±Inf, NaN on 0/0).
+func Div(x, y *Expr) *Expr { return binNum(exDiv, x, y) }
+
+// Neg is −x.
+func Neg(x *Expr) *Expr { mustNum(x, "Neg"); return &Expr{kind: exNeg, x: x} }
+
+// Abs is |x|.
+func Abs(x *Expr) *Expr { mustNum(x, "Abs"); return &Expr{kind: exAbs, x: x} }
+
+// MinOf is the smaller of x and y (math.Min semantics).
+func MinOf(x, y *Expr) *Expr { return binNum(exMin, x, y) }
+
+// MaxOf is the larger of x and y (math.Max semantics).
+func MaxOf(x, y *Expr) *Expr { return binNum(exMax, x, y) }
+
+// Lt is x < y. Like every float comparison, NaN operands yield false.
+func Lt(x, y *Expr) *Expr { return cmp(exLT, x, y) }
+
+// Le is x ≤ y.
+func Le(x, y *Expr) *Expr { return cmp(exLE, x, y) }
+
+// Gt is x > y.
+func Gt(x, y *Expr) *Expr { return cmp(exGT, x, y) }
+
+// Ge is x ≥ y.
+func Ge(x, y *Expr) *Expr { return cmp(exGE, x, y) }
+
+// Eq is x == y (exact float equality; prefer Equi predicates when the shape
+// allows an indexed probe).
+func Eq(x, y *Expr) *Expr { return cmp(exEQ, x, y) }
+
+// Ne is x != y.
+func Ne(x, y *Expr) *Expr { return cmp(exNE, x, y) }
+
+// And is the conjunction of two boolean expressions.
+func And(x, y *Expr) *Expr { return binBool(exAnd, x, y) }
+
+// Or is the disjunction of two boolean expressions.
+func Or(x, y *Expr) *Expr { return binBool(exOr, x, y) }
+
+// Not negates a boolean expression.
+func Not(x *Expr) *Expr { mustBool(x, "Not"); return &Expr{kind: exNot, x: x} }
+
+func binNum(kind int, x, y *Expr) *Expr {
+	mustNum(x, opName(kind))
+	mustNum(y, opName(kind))
+	return &Expr{kind: kind, x: x, y: y}
+}
+
+func cmp(kind int, x, y *Expr) *Expr {
+	mustNum(x, opName(kind))
+	mustNum(y, opName(kind))
+	return &Expr{kind: kind, x: x, y: y}
+}
+
+func binBool(kind int, x, y *Expr) *Expr {
+	mustBool(x, opName(kind))
+	mustBool(y, opName(kind))
+	return &Expr{kind: kind, x: x, y: y}
+}
+
+// isBool reports whether the node produces a truth value.
+func (e *Expr) isBool() bool { return e.kind >= exLT }
+
+func mustNum(e *Expr, op string) {
+	if e == nil {
+		panic("join: nil operand in expression " + op)
+	}
+	if e.isBool() {
+		panic("join: " + op + " needs numeric operands, got a boolean expression")
+	}
+}
+
+func mustBool(e *Expr, op string) {
+	if e == nil {
+		panic("join: nil operand in expression " + op)
+	}
+	if !e.isBool() {
+		panic("join: " + op + " needs boolean operands, got a numeric expression")
+	}
+}
+
+func opName(kind int) string {
+	names := [...]string{"Attr", "ConstOf", "Add", "Sub", "Mul", "Div", "Neg", "Abs",
+		"MinOf", "MaxOf", "Lt", "Le", "Gt", "Ge", "Eq", "Ne", "And", "Or", "Not"}
+	if kind >= 0 && kind < len(names) {
+		return names[kind]
+	}
+	return fmt.Sprintf("op%d", kind)
+}
+
+// streams returns the distinct stream indexes the expression references, in
+// ascending order.
+func (e *Expr) streams() []int {
+	set := map[int]bool{}
+	var walk func(*Expr)
+	walk = func(n *Expr) {
+		if n == nil {
+			return
+		}
+		if n.kind == exAttr {
+			set[n.stream] = true
+		}
+		walk(n.x)
+		walk(n.y)
+	}
+	walk(e)
+	out := make([]int, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// evalNum interprets a numeric subtree against a complete-enough assignment.
+func (e *Expr) evalNum(assign []*stream.Tuple) float64 {
+	switch e.kind {
+	case exAttr:
+		return assign[e.stream].Attr(e.attr)
+	case exConst:
+		return e.c
+	case exAdd:
+		return e.x.evalNum(assign) + e.y.evalNum(assign)
+	case exSub:
+		return e.x.evalNum(assign) - e.y.evalNum(assign)
+	case exMul:
+		return e.x.evalNum(assign) * e.y.evalNum(assign)
+	case exDiv:
+		return e.x.evalNum(assign) / e.y.evalNum(assign)
+	case exNeg:
+		return -e.x.evalNum(assign)
+	case exAbs:
+		return math.Abs(e.x.evalNum(assign))
+	case exMin:
+		return math.Min(e.x.evalNum(assign), e.y.evalNum(assign))
+	case exMax:
+		return math.Max(e.x.evalNum(assign), e.y.evalNum(assign))
+	}
+	panic("join: boolean node in numeric position")
+}
+
+// EvalBool interprets a boolean expression tree against an assignment with
+// every referenced stream bound. It is the reference semantics of WhereExpr
+// predicates (Condition.Matches evaluates through it); the compiled bytecode
+// of bytecode.go must agree with it bit-for-bit.
+func (e *Expr) EvalBool(assign []*stream.Tuple) bool {
+	switch e.kind {
+	case exLT:
+		return e.x.evalNum(assign) < e.y.evalNum(assign)
+	case exLE:
+		return e.x.evalNum(assign) <= e.y.evalNum(assign)
+	case exGT:
+		return e.x.evalNum(assign) > e.y.evalNum(assign)
+	case exGE:
+		return e.x.evalNum(assign) >= e.y.evalNum(assign)
+	case exEQ:
+		return e.x.evalNum(assign) == e.y.evalNum(assign)
+	case exNE:
+		return e.x.evalNum(assign) != e.y.evalNum(assign)
+	case exAnd:
+		return e.x.EvalBool(assign) && e.y.EvalBool(assign)
+	case exOr:
+		return e.x.EvalBool(assign) || e.y.EvalBool(assign)
+	case exNot:
+		return !e.x.EvalBool(assign)
+	}
+	panic("join: numeric node in boolean position — WhereExpr needs a boolean root (a comparison or connective)")
+}
+
+// WhereExpr adds a generic predicate in compilable expression form and
+// returns the condition for chaining. Semantically it is exactly
+// Where(streams(e), e.EvalBool); executors additionally compile the
+// expression into branch-free bytecode for the probe inner loop, which the
+// opaque closures of Where cannot get.
+func (c *Condition) WhereExpr(e *Expr) *Condition {
+	c.mutable("WhereExpr")
+	if e == nil {
+		panic("join: WhereExpr needs a non-nil expression")
+	}
+	mustBool(e, "WhereExpr")
+	streams := e.streams()
+	for _, s := range streams {
+		if s < 0 || s >= c.M {
+			panic(fmt.Sprintf("join: predicate references stream %d outside [0,%d)", s, c.M))
+		}
+	}
+	c.Generics = append(c.Generics, GenericPredicate{Streams: streams, Eval: e.EvalBool, Expr: e})
+	return c
+}

@@ -30,8 +30,13 @@ type CountEmitFunc func(ts stream.Time, n int64)
 type Operator struct {
 	cond    *Condition
 	plans   []plan
+	cplans  []cplan
 	windows []*window.Window
 	onT     stream.Time
+	// interp forces the interpreted (symbolic-plan) probe path. It exists for
+	// the differential tests that pin the compiled kernel bit-for-bit against
+	// the reference execution; production probing always runs compiled.
+	interp bool
 
 	emit        EmitFunc
 	countEmit   CountEmitFunc
@@ -89,6 +94,7 @@ func New(cond *Condition, sizes []stream.Time, opts ...Option) *Operator {
 		}
 		o.windows[i] = window.NewIndexed(w, idx[i], rng[i])
 	}
+	o.cplans = compilePlans(cond, o.plans, o.windows, compileProgs(cond))
 	for _, opt := range opts {
 		opt(o)
 	}
@@ -206,13 +212,18 @@ func (o *Operator) InsertAt(e *stream.Tuple, wm stream.Time) {
 }
 
 // probe joins e against the windows on all other streams and returns the
-// number of produced results.
+// number of produced results. The compiled kernel (compiled.go) and the
+// interpreted reference path enumerate in the identical order and agree
+// bit-for-bit; tests flip interp to pin that.
 func (o *Operator) probe(e *stream.Tuple) int64 {
 	for i := range o.assignBuf {
 		o.assignBuf[i] = nil
 	}
 	o.assignBuf[e.Src] = e
-	return o.search(o.plans[e.Src], 0, o.assignBuf)
+	if o.interp {
+		return o.search(o.plans[e.Src], 0, o.assignBuf)
+	}
+	return o.searchC(&o.cplans[e.Src], 0, o.assignBuf)
 }
 
 // search enumerates (or counts) assignments level by level.

@@ -126,33 +126,64 @@ func pickNext(c *Condition, bound []bool) int {
 	return best
 }
 
-// markCountableTails computes, back to front, whether the suffix starting at
-// each step is enumerable by pure counting.
+// bitset is a fixed-size stream set; streams number at most a few dozen, so
+// a small word slice beats a map for the planner's set algebra.
+type bitset []uint64
+
+func newBitset(m int) bitset { return make(bitset, (m+63)/64) }
+
+func (b bitset) set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+func (b bitset) copyFrom(o bitset) { copy(b, o) }
+
+// subset reports whether every bit of b is also set in o.
+func (b bitset) subset(o bitset) bool {
+	for w := range b {
+		if b[w]&^o[w] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// markCountableTails computes whether the suffix starting at each step is
+// enumerable by pure counting: no generic checks remain, and every bound
+// stream any remaining step references was bound before the suffix begins
+// (so later candidate counts are independent of earlier candidate choices).
+// One backward pass suffices: refs accumulates the union of bound-stream
+// references over steps ≥ i, and the prefix bound set shrinks by one stream
+// per step — O(plan·m/64) instead of the per-step set rebuild's O(plan²·m).
 func markCountableTails(arriving int, p plan) {
+	m := arriving + 1
 	for i := range p {
-		boundBefore := map[int]bool{arriving: true}
-		for j := 0; j < i; j++ {
-			boundBefore[p[j].stream] = true
+		if p[i].stream >= m {
+			m = p[i].stream + 1
 		}
-		ok := true
-		for j := i; j < len(p) && ok; j++ {
-			if len(p[j].checks) > 0 {
-				ok = false
-				break
-			}
-			for _, l := range p[j].lookups {
-				if !boundBefore[l.boundStream] {
-					ok = false
-					break
-				}
-			}
-			for _, b := range p[j].bands {
-				if !boundBefore[b.boundStream] {
-					ok = false
-					break
-				}
-			}
+	}
+	// boundBefore[i] = {arriving} ∪ {steps < i}; computed incrementally and
+	// snapshotted per step into one flat backing array.
+	words := len(newBitset(m))
+	backing := make([]uint64, (len(p)+1)*words)
+	cur := bitset(backing[:words])
+	cur.set(arriving)
+	prefixes := make([]bitset, len(p))
+	for i := range p {
+		prefixes[i] = bitset(backing[(i+1)*words : (i+2)*words])
+		prefixes[i].copyFrom(cur)
+		cur.set(p[i].stream)
+	}
+	refs := newBitset(m)
+	tailOK := true
+	for i := len(p) - 1; i >= 0; i-- {
+		if len(p[i].checks) > 0 {
+			tailOK = false
 		}
-		p[i].countableTail = ok
+		for _, l := range p[i].lookups {
+			refs.set(l.boundStream)
+		}
+		for _, b := range p[i].bands {
+			refs.set(b.boundStream)
+		}
+		p[i].countableTail = tailOK && refs.subset(prefixes[i])
 	}
 }

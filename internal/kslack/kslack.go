@@ -95,6 +95,14 @@ func (b *Buffer) Push(e *stream.Tuple) {
 	if e.Delay > b.maxDelay {
 		b.maxDelay = e.Delay
 	}
+	// Fast path: with nothing buffered and the tuple's slack already
+	// expired (always the case at K = 0), push-then-pop through the heap is
+	// a detour — emit directly. Identical release order and counters.
+	if b.heap.Len() == 0 && e.TS+b.k <= b.localT {
+		b.released++
+		b.emit(e)
+		return
+	}
 	b.heap.Push(e)
 	b.release()
 }

@@ -237,6 +237,31 @@ func (w *Window) CountRange(attr int, lo, hi float64) int {
 	panic("window: range count on unindexed attribute")
 }
 
+// HashIndex returns the hash index on attr, or nil when the attribute has
+// none. It is the direct handle the compiled probe kernel resolves once at
+// plan-compile time, so the per-probe index scan and KeyBits dispatch of
+// Match disappear from the hot loop. The handle stays valid for the lifetime
+// of the window (Reset keeps the index structures).
+func (w *Window) HashIndex(attr int) *index.Hash[*stream.Tuple] {
+	for i := range w.hashes {
+		if w.hashes[i].attr == attr {
+			return w.hashes[i].tab
+		}
+	}
+	return nil
+}
+
+// RangeIndex returns the sorted range index on attr, or nil when the
+// attribute has none; the band-probe counterpart of HashIndex.
+func (w *Window) RangeIndex(attr int) *index.Sorted[*stream.Tuple] {
+	for i := range w.ranges {
+		if w.ranges[i].attr == attr {
+			return w.ranges[i].tab
+		}
+	}
+	return nil
+}
+
 // Indexed reports whether attr has a hash index.
 func (w *Window) Indexed(attr int) bool {
 	for i := range w.hashes {

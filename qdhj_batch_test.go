@@ -1,0 +1,97 @@
+package qdhj
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/leakcheck"
+)
+
+// TestBatchedDifferential pins the batching layer's correctness contract on
+// every deployment shape: for any batch size — including sizes that
+// straddle adaptation-interval boundaries at shifting offsets — the batched
+// run reproduces the per-tuple run bit-for-bit, in result multiset, result
+// emit order AND K trajectory. The input is disordered, and the
+// quality-driven policy is live, so batches really are cut mid-stream at
+// watermark reads and adaptation boundaries.
+func TestBatchedDifferential(t *testing.T) {
+	leakcheck.Check(t)
+	in := gen.SparseStar4(1200, 11, 30, [4]Time{600, 600, 600, 600})
+	opt := Options{Gamma: 0.9, Period: 4 * Second, Interval: Second}
+
+	type trace struct {
+		results []string
+		ks      []Time
+	}
+	run := func(planSpec string, shards, batch int) trace {
+		var tr trace
+		cond := star4()
+		jopts := []JoinOption{
+			WithResults(func(r Result) {
+				var b strings.Builder
+				for _, tp := range r.Tuples {
+					fmt.Fprintf(&b, "%d:%d,", tp.Src, tp.Seq)
+				}
+				tr.results = append(tr.results, b.String())
+			}),
+			WithAdaptHook(func(ev AdaptEvent) { tr.ks = append(tr.ks, ev.NewK) }),
+		}
+		if shards > 0 {
+			jopts = append(jopts, WithShards(shards))
+		}
+		if planSpec != "" {
+			p, err := ParsePlan(planSpec, cond, windows4(), 0)
+			if err != nil {
+				t.Fatalf("plan %q: %v", planSpec, err)
+			}
+			jopts = append(jopts, WithPlan(p))
+		}
+		if batch > 0 {
+			jopts = append(jopts, WithBatchSize(batch))
+		}
+		j := NewJoin(cond, windows4(), opt, jopts...)
+		for _, e := range in.Clone() {
+			j.Push(e)
+		}
+		j.Close()
+		return tr
+	}
+
+	shapes := []struct {
+		name   string
+		spec   string
+		shards int
+	}{
+		{"flat", "", 0},
+		{"shard4", "", 4},
+		{"tree", "tree", 0},
+		{"bushy", "((0 1)x2 (2 3))x2", 0},
+	}
+	for _, sh := range shapes {
+		t.Run(sh.name, func(t *testing.T) {
+			want := run(sh.spec, sh.shards, 0)
+			if len(want.results) == 0 {
+				t.Fatal("degenerate workload: per-tuple run produced no results")
+			}
+			if len(want.ks) == 0 {
+				t.Fatal("degenerate workload: no adaptation steps")
+			}
+			for _, batch := range []int{2, 7, 64, 256} {
+				got := run(sh.spec, sh.shards, batch)
+				if len(got.results) != len(want.results) {
+					t.Fatalf("batch %d: %d results, per-tuple %d", batch, len(got.results), len(want.results))
+				}
+				for i := range want.results {
+					if got.results[i] != want.results[i] {
+						t.Fatalf("batch %d: result %d is %s, per-tuple %s", batch, i, got.results[i], want.results[i])
+					}
+				}
+				if fmt.Sprint(got.ks) != fmt.Sprint(want.ks) {
+					t.Fatalf("batch %d: K trajectory %v, per-tuple %v", batch, got.ks, want.ks)
+				}
+			}
+		})
+	}
+}
