@@ -157,9 +157,17 @@ func parseShards(s string) []int {
 // counts relative to the uninterrupted full-buffering flat reference
 // (shape "flat-static"). A full-buffering run under re-planning must score
 // exactly 1 in every phase: migration preserves the delivered multiset.
+// Mode "multi" entries (schema v4) sweep the shared-window multi-query
+// engine: Queries identical NoSlack queries run once on one MultiJoin
+// (shape "shared") versus Queries independent Joins each replaying the
+// whole feed (shape "independent"). Throughput is feed tuples per second —
+// the aggregate rate at which the deployment serves all queries — and the
+// per-query result counts must be identical between the two shapes at
+// every query count.
 type benchEntry struct {
 	Dataset         string    `json:"dataset"`
 	Mode            string    `json:"mode"`
+	Queries         int       `json:"queries,omitempty"`
 	Shards          int       `json:"shards,omitempty"`
 	Batch           int       `json:"batch,omitempty"`
 	Partition       string    `json:"partition,omitempty"`
@@ -253,6 +261,7 @@ func runBenchJSON(path string, minutes float64, seed int64, shardCounts []int, d
 	rep.Entries = append(rep.Entries, benchPlanX4(minutes, seed, shardCounts)...)
 	rep.Entries = append(rep.Entries, benchFault(minutes, seed)...)
 	rep.Entries = append(rep.Entries, benchReplan(minutes, seed)...)
+	rep.Entries = append(rep.Entries, benchMulti(minutes, seed)...)
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -705,6 +714,111 @@ func benchReplan(minutes float64, seed int64) []benchEntry {
 		out = append(out, e)
 		fmt.Fprintf(os.Stderr, "%-22s replan/%-15s %8d tuples  %12.0f tuples/s  %d migrations  pause max %.1fms  recall %v\n",
 			"flip-star-x4", c.shape, n, e.TuplesPerSec, e.Migrations, 1000*e.PauseMaxSec, e.PhaseRecall)
+	}
+	return out
+}
+
+// benchMulti sweeps the shared-window multi-query engine (mode "multi"):
+// N identical NoSlack equi-chain queries served by one MultiJoin replaying
+// the feed once, versus N independent Joins each replaying the whole feed.
+// The feed is the sparse symmetric-delay equi workload, capped so the
+// N=1000 independent reference stays bearable (the shared run's cost grows
+// with distinct probe prefixes, not with N — one residual class serves all
+// N queries here — while the independent reference is inherently N full
+// pipelines). Construction and feed cloning sit outside the timed region
+// for both shapes; per-query result counts must be identical between the
+// shapes at every N.
+func benchMulti(minutes float64, seed int64) []benchEntry {
+	ticks := int(minutes * float64(stream.Minute) / 10)
+	if ticks > 4000 {
+		ticks = 4000
+	}
+	in := gen.SparseEqui3(ticks, seed, 500, [3]stream.Time{150, 150, 150})
+	w := []stream.Time{2 * stream.Second, 2 * stream.Second, 2 * stream.Second}
+	cond := func() *join.Condition { return join.EquiChain(3, 0) }
+	opt := qdhj.Options{Policy: qdhj.NoSlack}
+	n := len(in)
+
+	var out []benchEntry
+	for _, nq := range []int{1, 2, 4, 8, 16, 64, 256, 1000} {
+		// Shared: one MultiJoin carrying nq queries, the feed pushed once.
+		feed := in.Clone()
+		mj := qdhj.NewMultiJoin(3)
+		mqs := make([]*qdhj.MultiQuery, nq)
+		for i := range mqs {
+			mqs[i] = mj.Add(cond(), w, opt)
+		}
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		t0 := time.Now()
+		for _, e := range feed {
+			mj.Push(e)
+		}
+		mj.Close()
+		dtShared := time.Since(t0).Seconds()
+		runtime.ReadMemStats(&m1)
+		sharedResults := mqs[0].Results()
+		for i, mq := range mqs {
+			if mq.Results() != sharedResults {
+				fmt.Fprintf(os.Stderr, "WARNING: shared query %d produced %d results, query 0 produced %d — identical queries must agree\n",
+					i, mq.Results(), sharedResults)
+			}
+		}
+		out = append(out, benchEntry{
+			Dataset:        "multi-sparse-x3",
+			Mode:           "multi",
+			Shape:          "shared",
+			Queries:        nq,
+			Tuples:         n,
+			Results:        sharedResults,
+			Seconds:        dtShared,
+			TuplesPerSec:   float64(n) / dtShared,
+			AllocsPerTuple: float64(m1.Mallocs-m0.Mallocs) / float64(n),
+			BytesPerTuple:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(n),
+		})
+
+		// Independent: nq standalone Joins, each replaying the whole feed;
+		// the timed regions are summed across runs.
+		var dtInd float64
+		var indResults int64
+		indAgree := true
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		for i := 0; i < nq; i++ {
+			f := in.Clone()
+			j := qdhj.NewJoin(cond(), w, opt)
+			t0 := time.Now()
+			for _, e := range f {
+				j.Push(e)
+			}
+			j.Close()
+			dtInd += time.Since(t0).Seconds()
+			if i == 0 {
+				indResults = j.Results()
+			} else if j.Results() != indResults {
+				indAgree = false
+			}
+		}
+		runtime.ReadMemStats(&m1)
+		if !indAgree || indResults != sharedResults {
+			fmt.Fprintf(os.Stderr, "WARNING: independent runs produced %d results, shared produced %d — shapes must agree at every query count\n",
+				indResults, sharedResults)
+		}
+		out = append(out, benchEntry{
+			Dataset:        "multi-sparse-x3",
+			Mode:           "multi",
+			Shape:          "independent",
+			Queries:        nq,
+			Tuples:         n,
+			Results:        indResults,
+			Seconds:        dtInd,
+			TuplesPerSec:   float64(n) / dtInd,
+			AllocsPerTuple: float64(m1.Mallocs-m0.Mallocs) / float64(n) / float64(nq),
+			BytesPerTuple:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(n) / float64(nq),
+		})
+		fmt.Fprintf(os.Stderr, "%-22s multi N=%-5d %8d tuples  shared %12.0f tuples/s  independent %12.0f tuples/s  (%.1fx)  %d results\n",
+			"multi-sparse-x3", nq, n, float64(n)/dtShared, float64(n)/dtInd, dtInd/dtShared, sharedResults)
 	}
 	return out
 }

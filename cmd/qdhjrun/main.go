@@ -72,11 +72,29 @@ func main() {
 		ckptAt    = flag.Int("checkpoint-at", 0, "arrival count to checkpoint at (default: half the feed)")
 		restore   = flag.String("restore", "", "resume from a snapshot written by -checkpoint (same dataset, query and plan)")
 		inject    = flag.String("inject", "", "deterministic fault spec, e.g. 'panic@shard1:tuple5000' or 'delay@shard0:tuple100:2ms,burst@tuple200:64'; implies supervision")
+		queries   = flag.String("queries", "", "multi-query spec file: run every listed query on one shared-window MultiJoin (see cmd/qdhjrun/multi.go for the format); with -explain, print the sharing structure instead of running")
 		replan    = flag.Bool("replan", false, "online re-planning: measure rates and selectivities on the running join and live-migrate between shapes; starts from -plan (default flat)")
 		replanP   = flag.Float64("replan-period", 0, "re-planning measurement period (seconds; default: the -P measurement period)")
 		expLive   = flag.Bool("explain-live", false, "with -replan: print the plan graph before and after every live migration (implies -replan)")
 	)
 	flag.Parse()
+	if *queries != "" {
+		switch {
+		case *tree, *pipelined, *planSpec != "", *shards > 0, *batch > 1,
+			*ckptFile != "", *restore != "", *inject != "", *replan, *expLive:
+			fatal(fmt.Errorf("-queries is its own deployment shape; it cannot be combined with -tree/-pipelined/-plan/-shards/-batch/-checkpoint/-restore/-inject/-replan"))
+		}
+		acfg := adapt.Config{
+			Gamma: *gamma,
+			P:     stream.Time(*periodS * float64(stream.Second)),
+			L:     stream.Time(*interval * float64(stream.Second)),
+		}
+		if *strategy == "eqsel" {
+			acfg.Strategy = adapt.EqSel
+		}
+		runMulti(*in, *queries, acfg, *policy, *gamma, *staticK, *explain)
+		return
+	}
 	if *explain {
 		runExplain(*in, *query, *planSpec, *shards)
 		return

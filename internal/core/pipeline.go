@@ -72,6 +72,18 @@ func StaticPolicy(k stream.Time) PolicyFactory {
 	}
 }
 
+// FeedbackPolicy adapts the historical core PolicyFactory signature to the
+// scope-aware factory internal/feedback expects, reading the loop's raw
+// Statistics Manager and Monitor out of the environment. Every executor that
+// must reproduce the classic pipeline's K decisions bit-for-bit (the pipeline
+// itself, internal/multi) builds its loops through this one adapter, so the
+// policy always sees the same statistics sources.
+func FeedbackPolicy(pf PolicyFactory) feedback.PolicyFactory {
+	return func(env feedback.Env) adapt.Policy {
+		return pf(env.Stats, env.Monitor, env.Adapt, env.Windows)
+	}
+}
+
 // AdaptEvent describes one adaptation step; it is delivered to the OnAdapt
 // hook right after the new K has been decided and applied.
 type AdaptEvent struct {
@@ -162,13 +174,10 @@ func New(cfg Config) *Pipeline {
 	m := len(cfg.Windows)
 
 	p := &Pipeline{cfg: cfg, m: m, curK: cfg.InitialK}
-	pf := cfg.Policy
 	p.loop = feedback.New(feedback.Config{
-		Windows: cfg.Windows,
-		Adapt:   cfg.Adapt,
-		Policy: func(env feedback.Env) adapt.Policy {
-			return pf(env.Stats, env.Monitor, env.Adapt, env.Windows)
-		},
+		Windows:    cfg.Windows,
+		Adapt:      cfg.Adapt,
+		Policy:     FeedbackPolicy(cfg.Policy),
 		StatsOpts:  cfg.StatsOpts,
 		InitialK:   cfg.InitialK,
 		Async:      cfg.Sharding.Shards > 1,

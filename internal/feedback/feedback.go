@@ -130,6 +130,15 @@ type Config struct {
 	// AsyncBatch (0 = default); Sync() barriers before every decision.
 	Async      bool
 	AsyncBatch int
+	// Stats injects an externally owned Statistics Manager instead of
+	// creating one. The multi-query engine shares one manager — fed exactly
+	// once per raw arrival — across every query loop registered at the same
+	// epoch with the same granularity, so N loops cost one Observe per
+	// arrival instead of N. The owner is then responsible for feeding every
+	// arrival to the manager; Observe on the loop becomes a pure read of the
+	// logical now and never double-feeds. Incompatible with Async (the async
+	// feeder would race the external owner's feeds).
+	Stats *stats.Manager
 }
 
 // scopeState is one decision scope's adaptive machinery.
@@ -149,8 +158,9 @@ type Loop struct {
 	scopes []*scopeState
 	root   int
 
-	feeder *feeder
-	maxTS  stream.Time
+	feeder   *feeder
+	extStats bool // cfg.Stats injected: the owner feeds it, Observe only reads
+	maxTS    stream.Time
 
 	started bool
 	nextAt  stream.Time
@@ -181,7 +191,15 @@ func New(cfg Config) *Loop {
 	}
 	m := len(cfg.Windows)
 	l := &Loop{cfg: cfg, m: m, root: len(cfg.Scopes) - 1}
-	l.stats = stats.NewManager(m, cfg.Adapt.G, cfg.StatsOpts...)
+	if cfg.Stats != nil {
+		if cfg.Async {
+			panic("feedback: Config.Stats cannot be combined with Async — the async feeder would race the external manager's owner")
+		}
+		l.stats = cfg.Stats
+		l.extStats = true
+	} else {
+		l.stats = stats.NewManager(m, cfg.Adapt.G, cfg.StatsOpts...)
+	}
 	intervals := int((cfg.Adapt.P - cfg.Adapt.L) / cfg.Adapt.L)
 	l.mon = monitor.New(cfg.Adapt.P-cfg.Adapt.L, intervals)
 
@@ -214,6 +232,11 @@ func New(cfg Config) *Loop {
 // via the async feeder) and returns the logical now — the maximum timestamp
 // seen — that drives the boundary schedule.
 func (l *Loop) Observe(e *stream.Tuple) stream.Time {
+	if l.extStats {
+		// The external owner already fed this arrival (exactly once, shared
+		// across loops); only read the logical now off the shared manager.
+		return l.stats.GlobalT()
+	}
 	if l.feeder != nil {
 		l.feeder.add(e)
 		if e.TS > l.maxTS {

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
 	"repro/internal/stream"
 )
@@ -160,6 +161,27 @@ func opName(kind int) string {
 		return names[kind]
 	}
 	return fmt.Sprintf("op%d", kind)
+}
+
+// String renders the expression as a canonical constructor-style term, e.g.
+// Lt(Sub(s0.a1, s2.a1), 40). Two expressions print equal iff they are
+// structurally identical (constants print with round-trip precision), which
+// is what the multi-query engine's condition fingerprinting relies on to
+// decide when two WhereExpr residuals are the same predicate.
+func (e *Expr) String() string {
+	if e == nil {
+		return "<nil>"
+	}
+	switch e.kind {
+	case exAttr:
+		return fmt.Sprintf("s%d.a%d", e.stream, e.attr)
+	case exConst:
+		return strconv.FormatFloat(e.c, 'g', -1, 64)
+	}
+	if e.y != nil {
+		return opName(e.kind) + "(" + e.x.String() + ", " + e.y.String() + ")"
+	}
+	return opName(e.kind) + "(" + e.x.String() + ")"
 }
 
 // streams returns the distinct stream indexes the expression references, in

@@ -100,21 +100,28 @@ func Build(g *Graph, cfg ExecConfig) Executor {
 	return buildTree(g, cfg)
 }
 
+// PolicyFactoryFor maps the named policy to the core policy factory the
+// flat pipeline runs, plus the buffer size in force before the first
+// adaptation step (non-zero only for the static policy). It is the single
+// name→policy mapping point for flat execution: buildFlat and the
+// multi-query engine both construct their feedback loops through it, which
+// is what keeps a query's K decisions identical across the two runtimes.
+func PolicyFactoryFor(p Policy, staticK stream.Time) (pf core.PolicyFactory, initialK stream.Time) {
+	switch p {
+	case PolicyMaxK:
+		return core.MaxKPolicy(), 0
+	case PolicyNoK:
+		return core.NoKPolicy(), 0
+	case PolicyStatic:
+		return core.StaticPolicy(staticK), staticK
+	default:
+		return core.ModelPolicy(), 0
+	}
+}
+
 // buildFlat maps the (possibly sharded) flat shape onto the core pipeline.
 func buildFlat(g *Graph, cfg ExecConfig, shards int) Executor {
-	var pf core.PolicyFactory
-	var initialK stream.Time
-	switch cfg.Policy {
-	case PolicyMaxK:
-		pf = core.MaxKPolicy()
-	case PolicyNoK:
-		pf = core.NoKPolicy()
-	case PolicyStatic:
-		pf = core.StaticPolicy(cfg.StaticK)
-		initialK = cfg.StaticK
-	default:
-		pf = core.ModelPolicy()
-	}
+	pf, initialK := PolicyFactoryFor(cfg.Policy, cfg.StaticK)
 	p := core.New(core.Config{
 		InitialK:   initialK,
 		Windows:    g.Windows,
