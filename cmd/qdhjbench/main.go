@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	stdnet "net"
 	"os"
 	"runtime"
 	"strings"
@@ -34,6 +35,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/gen"
 	"repro/internal/join"
+	qnet "repro/internal/net"
 	"repro/internal/stream"
 )
 
@@ -45,8 +47,12 @@ func main() {
 		datasets  = flag.String("datasets", "x2,x3,x4", "comma-separated dataset keys")
 		benchJSON = flag.String("benchjson", "", "write an operator-throughput JSON report to this file and exit")
 		shards    = flag.String("shards", "1,2,4,8", "comma-separated shard counts for the -benchjson sweep")
+		cpus      = flag.Int("cpus", 0, "GOMAXPROCS for the run (0 keeps the runtime default); recorded in the report")
 	)
 	flag.Parse()
+	if *cpus > 0 {
+		runtime.GOMAXPROCS(*cpus)
+	}
 
 	keys := strings.Split(*datasets, ",")
 	start := time.Now()
@@ -157,6 +163,13 @@ func parseShards(s string) []int {
 // counts relative to the uninterrupted full-buffering flat reference
 // (shape "flat-static"). A full-buffering run under re-planning must score
 // exactly 1 in every phase: migration preserves the delivered multiset.
+// Mode "net" entries (schema v4) sweep the wire framing of the networked
+// worker runtime: the same NoSlack sharded join deployed onto localhost
+// worker daemons via WithRemoteWorkers, at frame batch sizes 1, 16, 64 and
+// 256 (Batch; 1 is per-tuple framing — one frame and one write syscall per
+// tuple). Batch cuts are a pure function of the input, so the result count
+// must be identical at every size; only throughput moves. The acceptance
+// floor is batch-64 at ≥5× the per-tuple rate.
 // Mode "multi" entries (schema v4) sweep the shared-window multi-query
 // engine: Queries identical NoSlack queries run once on one MultiJoin
 // (shape "shared") versus Queries independent Joins each replaying the
@@ -194,16 +207,21 @@ type benchEntry struct {
 	BytesPerTuple   float64   `json:"bytes_per_tuple"`
 }
 
-// benchReport is the machine-readable throughput record.
+// benchReport is the machine-readable throughput record. GoMaxProcs is the
+// scheduler's parallelism budget at measurement time — NumCPU is the
+// machine, GoMaxProcs is what the run was actually allowed to use (they
+// differ under -cpus or a GOMAXPROCS env override), and shard/worker
+// speedups must be read against the latter.
 type benchReport struct {
-	Schema    string       `json:"schema"`
-	GoVersion string       `json:"go_version"`
-	GOOS      string       `json:"goos"`
-	GOARCH    string       `json:"goarch"`
-	NumCPU    int          `json:"num_cpu"`
-	Minutes   float64      `json:"minutes"`
-	Seed      int64        `json:"seed"`
-	Entries   []benchEntry `json:"entries"`
+	Schema     string       `json:"schema"`
+	GoVersion  string       `json:"go_version"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	NumCPU     int          `json:"num_cpu"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Minutes    float64      `json:"minutes"`
+	Seed       int64        `json:"seed"`
+	Entries    []benchEntry `json:"entries"`
 }
 
 // runBenchJSON measures raw MSWJ operator throughput (NoSlack policy,
@@ -211,13 +229,14 @@ type benchReport struct {
 // JSON report.
 func runBenchJSON(path string, minutes float64, seed int64, shardCounts []int, dss []*exp.Dataset) error {
 	rep := benchReport{
-		Schema:    "qdhj-operator-throughput/4",
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Minutes:   minutes,
-		Seed:      seed,
+		Schema:     "qdhj-operator-throughput/4",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Minutes:    minutes,
+		Seed:       seed,
 	}
 	for _, ds := range dss {
 		for _, nShards := range shardCounts {
@@ -262,6 +281,7 @@ func runBenchJSON(path string, minutes float64, seed int64, shardCounts []int, d
 	rep.Entries = append(rep.Entries, benchFault(minutes, seed)...)
 	rep.Entries = append(rep.Entries, benchReplan(minutes, seed)...)
 	rep.Entries = append(rep.Entries, benchMulti(minutes, seed)...)
+	rep.Entries = append(rep.Entries, benchNet(minutes, seed)...)
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -819,6 +839,87 @@ func benchMulti(minutes float64, seed int64) []benchEntry {
 		})
 		fmt.Fprintf(os.Stderr, "%-22s multi N=%-5d %8d tuples  shared %12.0f tuples/s  independent %12.0f tuples/s  (%.1fx)  %d results\n",
 			"multi-sparse-x3", nq, n, float64(n)/dtShared, float64(n)/dtInd, dtInd/dtShared, sharedResults)
+	}
+	return out
+}
+
+// benchNet sweeps the networked runtime's frame batch size (mode "net"):
+// a 2-worker sharded NoSlack equi join on the sparse symmetric-delay feed,
+// the workers being in-process Serve loops on loopback — the same code
+// cmd/qdhjd runs, minus the process boundary, so the sweep isolates the
+// framing cost (syscalls per tuple) rather than scheduler placement. The
+// daemons persist across the sweep; each batch setting is a fresh session
+// against the same pinned deployment.
+func benchNet(minutes float64, seed int64) []benchEntry {
+	ticks := int(minutes * float64(stream.Minute) / 10)
+	in := gen.SparseEqui3(ticks, seed, 500, [3]stream.Time{150, 150, 150})
+	w := []stream.Time{2 * stream.Second, 2 * stream.Second, 2 * stream.Second}
+	const workers = 2
+
+	addrs := make([]string, workers)
+	var listeners []stdnet.Listener
+	defer func() {
+		for _, l := range listeners {
+			l.Close()
+		}
+	}()
+	for i := range addrs {
+		l, err := stdnet.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "WARNING: net sweep skipped: %v\n", err)
+			return nil
+		}
+		addrs[i] = l.Addr().String()
+		listeners = append(listeners, l)
+		go func() { _ = qnet.Serve(l, qnet.ServeConfig{}) }()
+	}
+
+	var out []benchEntry
+	var refResults int64
+	var perTupleRate float64
+	for _, batch := range []int{1, 16, 64, 256} {
+		feed := in.Clone()
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		t0 := time.Now()
+		j := qdhj.NewJoin(join.EquiChain(3, 0), w, qdhj.Options{Policy: qdhj.NoSlack},
+			qdhj.WithRemoteWorkers(addrs...), qdhj.WithFrameBatch(batch))
+		for _, e := range feed {
+			j.Push(e)
+		}
+		j.Close()
+		dt := time.Since(t0).Seconds()
+		runtime.ReadMemStats(&m1)
+		n := len(feed)
+		tps := float64(n) / dt
+		if batch == 1 {
+			refResults, perTupleRate = j.Results(), tps
+		} else if j.Results() != refResults {
+			fmt.Fprintf(os.Stderr, "WARNING: net batch=%d produced %d results, per-tuple produced %d — framing must be bit-for-bit\n",
+				batch, j.Results(), refResults)
+		}
+		out = append(out, benchEntry{
+			Dataset:        "net-sparse-x3",
+			Mode:           "net",
+			Shards:         workers,
+			Batch:          batch,
+			Tuples:         n,
+			Results:        j.Results(),
+			Seconds:        dt,
+			TuplesPerSec:   tps,
+			AllocsPerTuple: float64(m1.Mallocs-m0.Mallocs) / float64(n),
+			BytesPerTuple:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(n),
+		})
+		note := ""
+		if batch == 64 && perTupleRate > 0 {
+			note = fmt.Sprintf("  (%.1fx per-tuple)", tps/perTupleRate)
+			if tps < 5*perTupleRate {
+				fmt.Fprintf(os.Stderr, "WARNING: net batch=64 at %.1fx per-tuple — below the 5x acceptance floor\n", tps/perTupleRate)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%-22s net/batch=%-4d workers=%d %8d tuples  %12.0f tuples/s  %d results%s\n",
+			"net-sparse-x3", batch, workers, n, tps, j.Results(), note)
 	}
 	return out
 }

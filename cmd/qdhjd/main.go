@@ -1,0 +1,71 @@
+// Command qdhjd is the networked join worker daemon: it holds one shard of
+// one logical m-way sliding-window join on behalf of a driver process (a
+// qdhj application using WithRemoteWorkers, or qdhjrun -workers). The
+// driver ships the join definition in its hello, streams batched binary
+// tuple frames, and collects per-interval statistics and results at
+// barrier round-trips; qdhjd itself is stateless across sessions except
+// for the pinned deployment signature, which protects a worker slot from
+// being restored into by the wrong driver.
+//
+// Usage:
+//
+//	qdhjd -listen 127.0.0.1:7101
+//	qdhjd -listen 127.0.0.1:7102 -inject panic@shard1:tuple5000
+//
+// Sessions are served sequentially: a worker owns mutable window state, so
+// concurrent drivers are refused by construction. When a driver vanishes
+// (connection drop), the session ends and the daemon accepts the next —
+// typically the supervised driver's reconnect, which restores the shard's
+// windows from the driver-side checkpoint.
+//
+// -inject arms the deterministic fault injector on this worker: "tuple N"
+// counts probe messages processed by this daemon, so an injected panic
+// fires at the same logical point on every run. The panic is contained —
+// the worker flips to drain mode and keeps acknowledging barriers — and
+// surfaces on the driver as a typed worker error at the next boundary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	stdnet "net"
+	"os"
+
+	"repro/internal/fault"
+	qnet "repro/internal/net"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:7101", "address to listen on")
+		inject = flag.String("inject", "", "fault injection spec, e.g. panic@shard0:tuple5000 (worker index must match this daemon's hello)")
+		quiet  = flag.Bool("quiet", false, "suppress session lifecycle logging")
+	)
+	flag.Parse()
+
+	var inj *fault.Injector
+	if *inject != "" {
+		var err error
+		inj, err = fault.ParseInjectSpec(*inject)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qdhjd: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	l, err := stdnet.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qdhjd: %v\n", err)
+		os.Exit(1)
+	}
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	logf("qdhjd: listening on %s", l.Addr())
+	if err := qnet.Serve(l, qnet.ServeConfig{Inject: inj, Logf: logf}); err != nil {
+		fmt.Fprintf(os.Stderr, "qdhjd: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -32,13 +32,28 @@
 //
 //	qdhjgen -dataset phaseflip -minutes 2 -o flip.csv
 //	qdhjrun -in flip.csv -query x4 -replan -replan-period 2 -explain-live
+//
+// Networked execution: -workers runs the join's partition workers as
+// external qdhjd daemons (one address per shard; results and K trajectory
+// are bit-for-bit equal to the in-process run); -framebatch tunes how many
+// tuple messages share one wire frame. Fault injection on a networked run
+// is armed on the daemons (qdhjd -inject), not here: -workers -inject is a
+// flag conflict.
+//
+//	qdhjd -listen 127.0.0.1:7101 & qdhjd -listen 127.0.0.1:7102 &
+//	qdhjrun -in d.csv -query x3 -workers 127.0.0.1:7101,127.0.0.1:7102
+//
+// Invalid flag combinations exit with code 2 and an error wrapping
+// errFlagConflict; see flagConflict for the full compatibility matrix.
 package main
 
 import (
 	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	qdhj "repro"
@@ -76,14 +91,23 @@ func main() {
 		replan    = flag.Bool("replan", false, "online re-planning: measure rates and selectivities on the running join and live-migrate between shapes; starts from -plan (default flat)")
 		replanP   = flag.Float64("replan-period", 0, "re-planning measurement period (seconds; default: the -P measurement period)")
 		expLive   = flag.Bool("explain-live", false, "with -replan: print the plan graph before and after every live migration (implies -replan)")
+		workersCS = flag.String("workers", "", "comma-separated qdhjd worker addresses: run the join's partition workers as external daemons, one per shard")
+		frameB    = flag.Int("framebatch", 0, "with -workers: tuple messages per wire frame (0 = default 128; 1 = per-tuple framing); results are identical at any size")
 	)
 	flag.Parse()
+	workers := splitAddrs(*workersCS)
+	fl := runFlags{
+		tree: *tree, pipelined: *pipelined, perStage: *perStage,
+		planSpec: *planSpec, shards: *shards, batch: *batch,
+		ckptFile: *ckptFile, restore: *restore, inject: *inject,
+		queries: *queries, workers: workers, frameBatch: *frameB,
+		replan: *replan, explainLive: *expLive,
+	}
+	if err := flagConflict(fl); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if *queries != "" {
-		switch {
-		case *tree, *pipelined, *planSpec != "", *shards > 0, *batch > 1,
-			*ckptFile != "", *restore != "", *inject != "", *replan, *expLive:
-			fatal(fmt.Errorf("-queries is its own deployment shape; it cannot be combined with -tree/-pipelined/-plan/-shards/-batch/-checkpoint/-restore/-inject/-replan"))
-		}
 		acfg := adapt.Config{
 			Gamma: *gamma,
 			P:     stream.Time(*periodS * float64(stream.Second)),
@@ -102,18 +126,6 @@ func main() {
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
-	}
-	if *tree && *pipelined {
-		fatal(fmt.Errorf("-tree and -pipelined are mutually exclusive"))
-	}
-	if *perStage && !*tree && !*pipelined {
-		fatal(fmt.Errorf("-perstage needs -tree or -pipelined"))
-	}
-	if *planSpec != "" && (*tree || *pipelined) {
-		fatal(fmt.Errorf("-plan replaces -tree/-pipelined: express the shape in the spec instead"))
-	}
-	if *shards > 0 && (*tree || *pipelined) {
-		fatal(fmt.Errorf("-shards does not apply to -tree/-pipelined (the Sec. V spine executors are unsharded); use -plan 'tree-shard:%d' for a stage-wise sharded tree", *shards))
 	}
 	f, err := os.Open(*in)
 	if err != nil {
@@ -149,41 +161,32 @@ func main() {
 	}
 
 	ft := ftOpts{ckptFile: *ckptFile, ckptAt: *ckptAt, restore: *restore, inject: *inject}
-	if ft.active() && (*tree || *pipelined) {
-		fatal(fmt.Errorf("-checkpoint/-restore/-inject run on the planned path; express the shape with -plan"))
-	}
 	if *expLive {
 		*replan = true
 	}
 	rp := replanOpts{on: *replan, explainLive: *expLive,
 		period: stream.Time(*replanP * float64(stream.Second))}
-	if rp.on {
-		if rp.period == 0 {
-			rp.period = acfg.P
-		}
-		if *tree || *pipelined {
-			fatal(fmt.Errorf("-replan runs on the planned path; express the starting shape with -plan"))
-		}
-		if ft.active() {
-			fatal(fmt.Errorf("-replan cannot be combined with -checkpoint/-restore/-inject: the supervised runtime pins one deployment shape"))
-		}
+	if rp.on && rp.period == 0 {
+		rp.period = acfg.P
 	}
 
 	fmt.Fprintf(os.Stderr, "computing oracle ground truth...\n")
 	truth := oracle.TrueResults(ds.Cond, ds.Windows, ds.Arrivals)
 
-	if *batch > 1 && (*tree || *pipelined) {
-		fatal(fmt.Errorf("-batch runs on the planned path; use -plan tree for a batched tree"))
-	}
-	if *planSpec != "" || *shards > 0 && !*tree && !*pipelined || ft.active() || rp.on || *batch > 1 {
+	if *planSpec != "" || *shards > 0 && !*tree && !*pipelined || ft.active() || rp.on || *batch > 1 || len(workers) > 0 {
 		spec := *planSpec
 		if spec == "" {
 			spec = "auto"
-			if rp.on || *batch > 1 {
+			switch {
+			case len(workers) > 0:
+				// One worker address per shard: remote workers pin the
+				// sharded flat shape at the address count.
+				spec = fmt.Sprintf("shard:%d", len(workers))
+			case rp.on || *batch > 1:
 				spec = "flat" // re-planning discovers the shape; -batch alone keeps the plain operator
 			}
 		}
-		runPlanned(ds, truth, acfg, *policy, stream.Time(*staticK*float64(stream.Second)), spec, *shards, *batch, ft, rp)
+		runPlanned(ds, truth, acfg, *policy, stream.Time(*staticK*float64(stream.Second)), spec, *shards, *batch, workers, *frameB, ft, rp)
 		return
 	}
 
@@ -341,6 +344,108 @@ func runExplain(in, query, spec string, shards int) {
 	fmt.Print(qdhj.Explain(p))
 }
 
+// errFlagConflict is the documented typed error behind every invalid flag
+// combination: qdhjrun prints an error chain that errors.Is(err,
+// errFlagConflict) recognizes and exits with code 2. flagConflict is the
+// full compatibility matrix; main_test.go pins it.
+var errFlagConflict = errors.New("conflicting flags")
+
+func conflict(msg string) error {
+	return fmt.Errorf("qdhjrun: %w: %s", errFlagConflict, msg)
+}
+
+// runFlags mirrors the deployment-shaping command line for conflict
+// checking.
+type runFlags struct {
+	tree, pipelined, perStage bool
+	planSpec                  string
+	shards, batch             int
+	ckptFile, restore, inject string
+	queries                   string
+	workers                   []string
+	frameBatch                int
+	replan, explainLive       bool
+}
+
+// flagConflict validates one flag combination and returns the first
+// conflict found (wrapping errFlagConflict), or nil.
+//
+// The -queries × -inject rule deserves its history: the two flags used to
+// compose silently, but fault injection is not wired through the
+// shared-window multi-query engine — MultiJoin.Push never consults an
+// injector, so the armed faults would simply never fire and the run would
+// masquerade as a passed recovery test. The combination is now a
+// documented error; arm faults on a single-query deployment, or on the
+// daemons (qdhjd -inject) for networked runs.
+func flagConflict(f runFlags) error {
+	if f.queries != "" {
+		if f.inject != "" {
+			return conflict("-queries cannot be combined with -inject: fault injection is not wired through the shared-window multi-query engine, so the armed faults would never fire; inject on a single-query run, or on qdhjd -inject for networked runs")
+		}
+		if f.tree || f.pipelined || f.planSpec != "" || f.shards > 0 || f.batch > 1 ||
+			f.ckptFile != "" || f.restore != "" || len(f.workers) > 0 || f.replan || f.explainLive {
+			return conflict("-queries is its own deployment shape; it cannot be combined with -tree/-pipelined/-plan/-shards/-batch/-checkpoint/-restore/-workers/-replan")
+		}
+		return nil
+	}
+	if f.tree && f.pipelined {
+		return conflict("-tree and -pipelined are mutually exclusive")
+	}
+	if f.perStage && !f.tree && !f.pipelined {
+		return conflict("-perstage needs -tree or -pipelined")
+	}
+	if f.planSpec != "" && (f.tree || f.pipelined) {
+		return conflict("-plan replaces -tree/-pipelined: express the shape in the spec instead")
+	}
+	if f.shards > 0 && (f.tree || f.pipelined) {
+		return conflict(fmt.Sprintf("-shards does not apply to -tree/-pipelined (the Sec. V spine executors are unsharded); use -plan 'tree-shard:%d' for a stage-wise sharded tree", f.shards))
+	}
+	ftActive := f.ckptFile != "" || f.restore != "" || f.inject != ""
+	if ftActive && (f.tree || f.pipelined) {
+		return conflict("-checkpoint/-restore/-inject run on the planned path; express the shape with -plan")
+	}
+	if f.batch > 1 && (f.tree || f.pipelined) {
+		return conflict("-batch runs on the planned path; use -plan tree for a batched tree")
+	}
+	if f.replan || f.explainLive {
+		if f.tree || f.pipelined {
+			return conflict("-replan runs on the planned path; express the starting shape with -plan")
+		}
+		if ftActive {
+			return conflict("-replan cannot be combined with -checkpoint/-restore/-inject: the supervised runtime pins one deployment shape")
+		}
+		if len(f.workers) > 0 {
+			return conflict("-workers cannot be combined with -replan: remote workers pin the sharded flat shape, and a live migration would change it")
+		}
+	}
+	if len(f.workers) > 0 {
+		if f.tree || f.pipelined {
+			return conflict("-workers runs the sharded flat shape on external daemons; tree shapes do not deploy remotely")
+		}
+		if f.inject != "" {
+			return conflict("-workers cannot be combined with -inject: driver-side injection never reaches a remote worker process; arm the fault on the daemon instead (qdhjd -inject)")
+		}
+		if f.shards > 0 && f.shards != len(f.workers) {
+			return conflict(fmt.Sprintf("-shards %d disagrees with %d -workers addresses (one worker per shard)", f.shards, len(f.workers)))
+		}
+	}
+	if f.frameBatch > 0 && len(f.workers) == 0 {
+		return conflict("-framebatch tunes the wire framing of a networked run; it needs -workers")
+	}
+	return nil
+}
+
+// splitAddrs parses the -workers list.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
 // ftOpts carries the fault-tolerance flags of one run.
 type ftOpts struct {
 	ckptFile string
@@ -402,7 +507,8 @@ type replanOpts struct {
 // resumes from one; with -inject it runs supervised under deterministic
 // fault injection; with -replan it re-plans online and live-migrates.
 func runPlanned(ds *gen.Dataset, truth *oracle.Index, acfg adapt.Config, policy string,
-	staticK stream.Time, spec string, shards, batch int, ft ftOpts, rp replanOpts) {
+	staticK stream.Time, spec string, shards, batch int, workers []string, frameBatch int,
+	ft ftOpts, rp replanOpts) {
 	p, err := qdhj.ParsePlan(spec, ds.Cond, ds.Windows, shards)
 	if err != nil {
 		fatal(err)
@@ -429,6 +535,22 @@ func runPlanned(ds *gen.Dataset, truth *oracle.Index, acfg adapt.Config, policy 
 	jopts := []qdhj.JoinOption{qdhj.WithPlan(p)}
 	if batch > 1 {
 		jopts = append(jopts, qdhj.WithBatchSize(batch))
+	}
+	if len(workers) > 0 {
+		jopts = append(jopts, qdhj.WithRemoteWorkers(workers...))
+		if frameBatch > 0 {
+			jopts = append(jopts, qdhj.WithFrameBatch(frameBatch))
+		}
+		fmt.Fprintf(os.Stderr, "networked: %d workers (%s)\n", len(workers), strings.Join(workers, ", "))
+		if ft.ckptFile == "" && ft.restore == "" {
+			// Worker loss without supervision would panic the driver;
+			// a networked run defaults to the supervised runtime so a
+			// restarted daemon is re-dialed and restored automatically.
+			jopts = append(jopts, qdhj.WithSupervision(qdhj.Supervision{
+				OnRestart: func(n int, cause error) {
+					fmt.Fprintf(os.Stderr, "restart %d: recovered from: %v\n", n, cause)
+				}}))
+		}
 	}
 	var migrations int
 	var totalPause, maxPause time.Duration

@@ -1,0 +1,82 @@
+package main
+
+// Pins the documented typed error for invalid flag combinations —
+// most importantly -queries × -inject, which used to compose silently
+// while the armed faults never fired (fault injection is not wired
+// through the shared-window multi-query engine).
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFlagConflicts(t *testing.T) {
+	two := []string{"127.0.0.1:7101", "127.0.0.1:7102"}
+	bad := []struct {
+		name string
+		f    runFlags
+	}{
+		{"queries+inject", runFlags{queries: "q.spec", inject: "panic@shard0:tuple10"}},
+		{"queries+tree", runFlags{queries: "q.spec", tree: true}},
+		{"queries+workers", runFlags{queries: "q.spec", workers: two}},
+		{"queries+replan", runFlags{queries: "q.spec", replan: true}},
+		{"tree+pipelined", runFlags{tree: true, pipelined: true}},
+		{"perstage alone", runFlags{perStage: true}},
+		{"plan+tree", runFlags{planSpec: "shard:2", tree: true}},
+		{"shards+tree", runFlags{shards: 2, tree: true}},
+		{"inject+tree", runFlags{inject: "panic@shard0:tuple10", tree: true}},
+		{"batch+tree", runFlags{batch: 64, tree: true}},
+		{"replan+inject", runFlags{replan: true, inject: "panic@shard0:tuple10"}},
+		{"workers+inject", runFlags{workers: two, inject: "panic@shard0:tuple10"}},
+		{"workers+replan", runFlags{workers: two, replan: true}},
+		{"workers+tree", runFlags{workers: two, tree: true}},
+		{"workers+shards mismatch", runFlags{workers: two, shards: 4}},
+		{"framebatch alone", runFlags{frameBatch: 64}},
+	}
+	for _, tc := range bad {
+		err := flagConflict(tc.f)
+		if err == nil {
+			t.Errorf("%s: no error", tc.name)
+			continue
+		}
+		if !errors.Is(err, errFlagConflict) {
+			t.Errorf("%s: error %v does not wrap errFlagConflict", tc.name, err)
+		}
+	}
+
+	good := []struct {
+		name string
+		f    runFlags
+	}{
+		{"bare", runFlags{}},
+		{"queries alone", runFlags{queries: "q.spec"}},
+		{"tree+perstage", runFlags{tree: true, perStage: true}},
+		{"plan+inject", runFlags{planSpec: "shard:2", inject: "panic@shard1:tuple5000"}},
+		{"workers alone", runFlags{workers: two}},
+		{"workers+matching shards", runFlags{workers: two, shards: 2}},
+		{"workers+framebatch", runFlags{workers: two, frameBatch: 64}},
+		{"workers+checkpoint", runFlags{workers: two, ckptFile: "snap.bin"}},
+		{"replan alone", runFlags{replan: true}},
+	}
+	for _, tc := range good {
+		if err := flagConflict(tc.f); err != nil {
+			t.Errorf("%s: unexpected conflict: %v", tc.name, err)
+		}
+	}
+}
+
+func TestSplitAddrs(t *testing.T) {
+	got := splitAddrs(" a:1, b:2 ,,c:3 ")
+	want := []string{"a:1", "b:2", "c:3"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if splitAddrs("") != nil {
+		t.Fatal("empty list should be nil")
+	}
+}

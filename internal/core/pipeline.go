@@ -38,6 +38,38 @@ type Sharding struct {
 	QueueDepth int
 }
 
+// Runtime is the sharded execution seam: what the pipeline needs from a
+// partition-parallel join runtime. internal/shard.Runtime implements it
+// in-process; internal/net.Session implements it over TCP worker
+// processes. Both embed the same router, so the pipeline cannot observe
+// which one it is driving.
+type Runtime interface {
+	// Route accepts one synchronized tuple (single-goroutine).
+	Route(e *stream.Tuple)
+	// Watermark returns the global synchronized-stream watermark onT.
+	Watermark() stream.Time
+	// FlushInterval quiesces the workers and merges one interval in
+	// deterministic (arrival, shard) order; a worker failure panics before
+	// anything is emitted.
+	FlushInterval(visit func(ts, delay stream.Time, nCross, nOn int64), emit func(stream.Result))
+	// EnableMaterialize installs result buffers before the first Route.
+	EnableMaterialize()
+	// State and Restore capture/load the runtime's serializable snapshot.
+	State(tt *fault.TupleTable) shard.State
+	Restore(st shard.State, ta *fault.TupleArena)
+	// Close stops the workers after a final FlushInterval.
+	Close()
+}
+
+// KChanger is optionally implemented by runtimes that must observe the
+// feedback loop's buffer-size decisions — the networked runtime ships them
+// to its workers as in-band control events. The in-process runtime has no
+// use for them (K-slack lives upstream of the router), so the pipeline
+// type-asserts rather than widening Runtime.
+type KChanger interface {
+	KChange(ks []stream.Time)
+}
+
 // PolicyFactory builds the buffer-size policy once the feedback loop has
 // created the shared statistics components. (This is the historical core
 // signature; internal/feedback defines the scope-aware generalization, and
@@ -129,6 +161,10 @@ type Config struct {
 	Batch int
 	// Sharding enables the partition-parallel execution path.
 	Sharding Sharding
+	// NewRuntime optionally overrides the sharded runtime constructor — the
+	// seam through which plan injects the networked worker runtime
+	// (internal/net). When set, the runtime path is used even at one shard.
+	NewRuntime func(shard.Config) Runtime
 	// Inject is the optional fault-injection harness: sharded runs hand it
 	// to the shard workers (worker s checks directives for worker s); the
 	// single-threaded path checks worker 0's directives at every Push.
@@ -145,10 +181,10 @@ type Pipeline struct {
 	op    *join.Operator // nil on the sharded path
 	model *adapt.Model   // non-nil when the policy is the model policy
 
-	// Sharded path (Config.Sharding.Shards > 1): the runtime replaces op
-	// and the loop runs its Statistics Manager asynchronously, barriered
-	// before every decision.
-	rt *shard.Runtime
+	// Sharded path (Config.Sharding.Shards > 1 or Config.NewRuntime set):
+	// the runtime replaces op and the loop runs its Statistics Manager
+	// asynchronously, barriered before every decision.
+	rt Runtime
 
 	// Batched release path (Config.Batch > 1, single-threaded): pending
 	// synchronizer releases not yet consumed by the operator.
@@ -173,6 +209,8 @@ func New(cfg Config) *Pipeline {
 	cfg.Adapt = cfg.Adapt.Normalize()
 	m := len(cfg.Windows)
 
+	sharded := cfg.Sharding.Shards > 1 || cfg.NewRuntime != nil
+
 	p := &Pipeline{cfg: cfg, m: m, curK: cfg.InitialK}
 	p.loop = feedback.New(feedback.Config{
 		Windows:    cfg.Windows,
@@ -180,14 +218,18 @@ func New(cfg Config) *Pipeline {
 		Policy:     FeedbackPolicy(cfg.Policy),
 		StatsOpts:  cfg.StatsOpts,
 		InitialK:   cfg.InitialK,
-		Async:      cfg.Sharding.Shards > 1,
+		Async:      sharded,
 		AsyncBatch: cfg.Sharding.BatchSize,
 	})
 	p.model = p.loop.Model(0)
 
-	if cfg.Sharding.Shards > 1 {
-		p.rt = shard.New(shard.Config{
-			N:           cfg.Sharding.Shards,
+	if sharded {
+		shards := cfg.Sharding.Shards
+		if shards < 1 {
+			shards = 1
+		}
+		scfg := shard.Config{
+			N:           shards,
 			Cond:        cfg.Cond,
 			Windows:     cfg.Windows,
 			Materialize: cfg.Emit != nil,
@@ -197,7 +239,12 @@ func New(cfg Config) *Pipeline {
 				p.loop.RecordOutOfOrder(0, delay)
 			},
 			Inject: cfg.Inject,
-		})
+		}
+		if cfg.NewRuntime != nil {
+			p.rt = cfg.NewRuntime(scfg)
+		} else {
+			p.rt = shard.New(scfg)
+		}
 		p.sync = syncer.New(m, p.rt.Route)
 	} else {
 		opts := []join.Option{
@@ -322,6 +369,13 @@ func (p *Pipeline) adaptStep(at stream.Time) {
 		k.SetK(newK)
 	}
 	p.curK = newK
+	if kc, ok := p.rt.(KChanger); ok {
+		// Ship the decision to runtimes that track it (networked workers):
+		// the barrier above quiesced the ended interval, so this control
+		// event lands after its last tuple and before the next interval's
+		// first — the in-band ordering the protocol asserts at barriers.
+		kc.KChange([]stream.Time{newK})
+	}
 	if p.cfg.OnAdapt != nil {
 		ev := AdaptEvent{Now: at, OutT: outT, PrevK: prevK, NewK: newK}
 		if p.model != nil {
@@ -396,6 +450,9 @@ func (p *Pipeline) ApplyK(k stream.Time) {
 	p.curK = k
 	for _, b := range p.ks {
 		b.SetK(k)
+	}
+	if kc, ok := p.rt.(KChanger); ok {
+		kc.KChange([]stream.Time{k})
 	}
 }
 

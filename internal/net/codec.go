@@ -1,0 +1,366 @@
+// Package net is the networked worker runtime: one logical sliding-window
+// join runs as N key-partitioned worker processes over TCP, driven by a
+// Session that embeds the same shard.Router the in-process runtime uses.
+// The wire is engineered as a hot path, not an RPC port:
+//
+//   - length-prefixed binary frames with pooled buffers — the data path
+//     (tuples, barriers, K changes) never touches gob or reflection; gob
+//     is reserved for the one-shot hello handshake (and checkpoints keep
+//     their existing gob form, off the wire entirely: window state is
+//     retained driver-side by the router);
+//   - tuple batches as the unit of transport: up to FrameBatch tuple
+//     messages share one frame and one write syscall, with batch cuts a
+//     pure function of the input stream (a frame is cut when full or at a
+//     barrier/K-change/close), so framing can never affect results;
+//   - in-band control: K changes and barriers are frames within the same
+//     ordered byte stream as the data, so workers observe them at exactly
+//     the stream positions the driver issued them.
+//
+// See DESIGN.md §14 for the protocol and the cross-process determinism
+// argument.
+package net
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/feedback"
+	"repro/internal/stream"
+)
+
+// Frame types. A frame is [u32 length (LE)][payload]; payload[0] is the
+// type byte, so length ≥ 1. Length covers the payload only.
+const (
+	ftHello       = 1 // driver→worker: gob HelloMsg
+	ftHelloAck    = 2 // worker→driver: gob HelloAck
+	ftBatch       = 3 // driver→worker: tuple messages (binary, below)
+	ftBarrier     = 4 // driver→worker: feedback.BarrierMsg
+	ftBarrierAck  = 5 // worker→driver: feedback.BarrierAck + deltas + results
+	ftSetK        = 6 // driver→worker: feedback.KChangeMsg
+	ftMaterialize = 7 // driver→worker: install result buffers (empty payload)
+	ftClose       = 8 // driver→worker: clean end of session (empty payload)
+)
+
+// maxFrame bounds a frame payload; longer length prefixes are rejected
+// before any allocation, so a corrupt or hostile peer cannot force an
+// arbitrary-size buffer.
+const maxFrame = 1 << 26 // 64 MiB
+
+// Tuple message kinds inside a ftBatch payload.
+const (
+	wmProbe  = 0 // full Alg. 2 step: expire, probe, insert
+	wmInsert = 1 // replica/out-of-order path: insert-only
+)
+
+// Tuple message layout (little-endian):
+//
+//	u8  kind   u8 src   u16 nattrs   u32 idx
+//	i64 ts     u64 seq  i64 delay    i64 wm
+//	nattrs × u64 (IEEE-754 bits)
+//
+// 40 bytes + 8 per attribute. idx is the router arrival index (probes
+// only; zero on inserts). Attributes travel as raw bits, so NaN payloads
+// and ±Inf round-trip exactly.
+const msgHeader = 40
+
+var (
+	errShortFrame = errors.New("net: truncated frame")
+	errFrameSize  = errors.New("net: frame length exceeds limit")
+	errBadMsg     = errors.New("net: malformed tuple message")
+	errBadAck     = errors.New("net: malformed barrier ack")
+)
+
+// appendMsg encodes one tuple message. Zero allocations beyond the
+// amortized growth of buf.
+func appendMsg(buf []byte, kind byte, e *stream.Tuple, wm stream.Time, idx int) []byte {
+	buf = append(buf, kind, byte(e.Src))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(e.Attrs)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(idx))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(e.TS))
+	buf = binary.LittleEndian.AppendUint64(buf, e.Seq)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(e.Delay))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(wm))
+	for _, a := range e.Attrs {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(a))
+	}
+	return buf
+}
+
+// decodeMsg decodes one tuple message at b[off:], materializing the tuple
+// from the slab. Returns the message kind, tuple, watermark, arrival index
+// and the next offset.
+func decodeMsg(b []byte, off int, slab *tupleSlab) (kind byte, e *stream.Tuple, wm stream.Time, idx int, next int, err error) {
+	if len(b)-off < msgHeader {
+		return 0, nil, 0, 0, 0, errBadMsg
+	}
+	kind = b[off]
+	if kind != wmProbe && kind != wmInsert {
+		return 0, nil, 0, 0, 0, errBadMsg
+	}
+	src := int(b[off+1])
+	nattrs := int(binary.LittleEndian.Uint16(b[off+2:]))
+	idx = int(binary.LittleEndian.Uint32(b[off+4:]))
+	ts := stream.Time(binary.LittleEndian.Uint64(b[off+8:]))
+	seq := binary.LittleEndian.Uint64(b[off+16:])
+	delay := stream.Time(binary.LittleEndian.Uint64(b[off+24:]))
+	wm = stream.Time(binary.LittleEndian.Uint64(b[off+32:]))
+	off += msgHeader
+	if len(b)-off < 8*nattrs {
+		return 0, nil, 0, 0, 0, errBadMsg
+	}
+	e = slab.alloc(nattrs)
+	e.TS, e.Seq, e.Src, e.Delay = ts, seq, src, delay
+	for i := 0; i < nattrs; i++ {
+		e.Attrs[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
+		off += 8
+	}
+	return kind, e, wm, idx, off, nil
+}
+
+// appendBarrier encodes a feedback.BarrierMsg payload (after the type byte).
+func appendBarrier(buf []byte, m feedback.BarrierMsg) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, m.Seq)
+	return binary.LittleEndian.AppendUint64(buf, uint64(m.OutT))
+}
+
+func decodeBarrier(b []byte) (feedback.BarrierMsg, error) {
+	if len(b) < 16 {
+		return feedback.BarrierMsg{}, errShortFrame
+	}
+	return feedback.BarrierMsg{
+		Seq:  binary.LittleEndian.Uint64(b),
+		OutT: stream.Time(binary.LittleEndian.Uint64(b[8:])),
+	}, nil
+}
+
+// appendSetK encodes a feedback.KChangeMsg payload.
+func appendSetK(buf []byte, m feedback.KChangeMsg) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, m.Seq)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(m.Ks)))
+	for _, k := range m.Ks {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(k))
+	}
+	return buf
+}
+
+func decodeSetK(b []byte, ks []stream.Time) (feedback.KChangeMsg, []stream.Time, error) {
+	if len(b) < 10 {
+		return feedback.KChangeMsg{}, ks, errShortFrame
+	}
+	m := feedback.KChangeMsg{Seq: binary.LittleEndian.Uint64(b)}
+	n := int(binary.LittleEndian.Uint16(b[8:]))
+	if len(b) < 10+8*n {
+		return feedback.KChangeMsg{}, ks, errShortFrame
+	}
+	ks = ks[:0]
+	for i := 0; i < n; i++ {
+		ks = append(ks, stream.Time(binary.LittleEndian.Uint64(b[10+8*i:])))
+	}
+	m.Ks = ks
+	return m, ks, nil
+}
+
+// Barrier-ack payload layout (after the type byte):
+//
+//	u64 seq   i64 k   u8 failed
+//	failed: u32 errlen + bytes   (nothing further)
+//	ok:     u32 nAcc  + nAcc × (u32 idx, i64 n)
+//	        u32 nRes  + per result:
+//	            u32 idx, i64 ts, u16 m, m × tuple record
+//	tuple record: u8 src, u16 nattrs, i64 ts, u64 seq, i64 delay, attrs
+//
+// The sparse (idx, n) pairs are the worker's per-shard n^on(e) deltas; the
+// driver scatters them into its dense per-arrival accumulators and merges
+// across workers in (arrival, shard) order — the same replay the
+// in-process runtime performs at FlushInterval.
+
+// ackEntry is one sparse per-arrival result-count delta.
+type ackEntry struct {
+	idx int
+	n   int64
+}
+
+// resEntry is one buffered materialized result with its arrival index.
+type resEntry struct {
+	idx int
+	r   stream.Result
+}
+
+func appendAckHeader(buf []byte, ack feedback.BarrierAck) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, ack.Seq)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(ack.K))
+	if ack.Failed {
+		buf = append(buf, 1)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ack.Err)))
+		return append(buf, ack.Err...)
+	}
+	return append(buf, 0)
+}
+
+func appendAckBody(buf []byte, acc []ackEntry, res []resEntry) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(acc)))
+	for _, a := range acc {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(a.idx))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(a.n))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(res)))
+	for _, re := range res {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(re.idx))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(re.r.TS))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(re.r.Tuples)))
+		for _, t := range re.r.Tuples {
+			buf = append(buf, byte(t.Src))
+			buf = binary.LittleEndian.AppendUint16(buf, uint16(len(t.Attrs)))
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(t.TS))
+			buf = binary.LittleEndian.AppendUint64(buf, t.Seq)
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(t.Delay))
+			for _, a := range t.Attrs {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(a))
+			}
+		}
+	}
+	return buf
+}
+
+// decodedAck is a worker's decoded barrier reply.
+type decodedAck struct {
+	hdr    feedback.BarrierAck
+	acc    []ackEntry
+	res    []stream.Result
+	resIdx []int
+}
+
+// decodeAck parses a barrier-ack payload into out (slices reused).
+func decodeAck(b []byte, out *decodedAck) error {
+	if len(b) < 17 {
+		return errShortFrame
+	}
+	out.hdr = feedback.BarrierAck{
+		Seq: binary.LittleEndian.Uint64(b),
+		K:   stream.Time(binary.LittleEndian.Uint64(b[8:])),
+	}
+	out.acc = out.acc[:0]
+	out.res = out.res[:0]
+	out.resIdx = out.resIdx[:0]
+	off := 17
+	if b[16] != 0 {
+		out.hdr.Failed = true
+		if len(b) < off+4 {
+			return errShortFrame
+		}
+		n := int(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+		if len(b) < off+n {
+			return errShortFrame
+		}
+		out.hdr.Err = string(b[off : off+n])
+		if off+n != len(b) {
+			return errBadAck
+		}
+		return nil
+	}
+	if len(b) < off+4 {
+		return errShortFrame
+	}
+	nAcc := int(binary.LittleEndian.Uint32(b[off:]))
+	off += 4
+	if nAcc < 0 || len(b)-off < 12*nAcc {
+		return errShortFrame
+	}
+	for i := 0; i < nAcc; i++ {
+		out.acc = append(out.acc, ackEntry{
+			idx: int(binary.LittleEndian.Uint32(b[off:])),
+			n:   int64(binary.LittleEndian.Uint64(b[off+4:])),
+		})
+		off += 12
+	}
+	if len(b) < off+4 {
+		return errShortFrame
+	}
+	nRes := int(binary.LittleEndian.Uint32(b[off:]))
+	off += 4
+	for i := 0; i < nRes; i++ {
+		if len(b) < off+14 {
+			return errShortFrame
+		}
+		idx := int(binary.LittleEndian.Uint32(b[off:]))
+		ts := stream.Time(binary.LittleEndian.Uint64(b[off+4:]))
+		m := int(binary.LittleEndian.Uint16(b[off+12:]))
+		off += 14
+		r := stream.Result{TS: ts, Tuples: make([]*stream.Tuple, 0, m)}
+		for j := 0; j < m; j++ {
+			if len(b) < off+27 {
+				return errShortFrame
+			}
+			t := &stream.Tuple{
+				Src:   int(b[off]),
+				TS:    stream.Time(binary.LittleEndian.Uint64(b[off+3:])),
+				Seq:   binary.LittleEndian.Uint64(b[off+11:]),
+				Delay: stream.Time(binary.LittleEndian.Uint64(b[off+19:])),
+			}
+			nattrs := int(binary.LittleEndian.Uint16(b[off+1:]))
+			off += 27
+			if len(b)-off < 8*nattrs {
+				return errShortFrame
+			}
+			t.Attrs = make([]float64, nattrs)
+			for a := 0; a < nattrs; a++ {
+				t.Attrs[a] = math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
+				off += 8
+			}
+			r.Tuples = append(r.Tuples, t)
+		}
+		out.res = append(out.res, r)
+		out.resIdx = append(out.resIdx, idx)
+	}
+	if off != len(b) {
+		return errBadAck
+	}
+	return nil
+}
+
+// tupleSlab materializes decoded tuples in chunks, amortizing allocation:
+// one tuple-array and one attr-array allocation per chunk instead of two
+// per tuple. Chunks are retained only by the live tuples pointing into
+// them; since windows expire in rough timestamp order, a chunk's lifetime
+// tracks the window extent.
+type tupleSlab struct {
+	tuples []stream.Tuple
+	attrs  []float64
+}
+
+const (
+	slabTuples = 1024
+	slabAttrs  = 8192
+)
+
+// alloc returns a zeroed tuple with an Attrs slice of length nattrs carved
+// from the slab. The returned pointer stays valid forever (chunks are
+// never reused).
+func (s *tupleSlab) alloc(nattrs int) *stream.Tuple {
+	if len(s.tuples) == cap(s.tuples) {
+		s.tuples = make([]stream.Tuple, 0, slabTuples)
+	}
+	s.tuples = s.tuples[:len(s.tuples)+1]
+	t := &s.tuples[len(s.tuples)-1]
+	*t = stream.Tuple{}
+	if nattrs > 0 {
+		if cap(s.attrs)-len(s.attrs) < nattrs {
+			c := slabAttrs
+			if nattrs > c {
+				c = nattrs
+			}
+			s.attrs = make([]float64, 0, c)
+		}
+		s.attrs = s.attrs[:len(s.attrs)+nattrs]
+		t.Attrs = s.attrs[len(s.attrs)-nattrs : len(s.attrs) : len(s.attrs)]
+	}
+	return t
+}
+
+// frameSizeError renders the reject of an oversized length prefix.
+func frameSizeError(n uint32) error {
+	return fmt.Errorf("%w: %d bytes (max %d)", errFrameSize, n, maxFrame)
+}

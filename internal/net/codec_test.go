@@ -1,0 +1,305 @@
+package net
+
+// Wire-codec tests: round-trip properties on the binary tuple and ack
+// layouts (including NaN payloads and ±Inf, compared as IEEE-754 bit
+// patterns), a fuzz target over raw frame bytes (the decoder must reject
+// truncated frames, oversize length prefixes, and arbitrary garbage
+// without panicking or over-reading), and allocation gates proving the
+// warm data path — encoders appending to a sized buffer, the frame reader
+// on a warm connection — runs allocation-free.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"testing"
+
+	"repro/internal/feedback"
+	"repro/internal/stream"
+)
+
+// msgEqualBits compares two tuples field-by-field with attribute equality
+// at the bit level, so NaN payloads count as equal to themselves.
+func msgEqualBits(a, b *stream.Tuple) bool {
+	if a.TS != b.TS || a.Seq != b.Seq || a.Src != b.Src || a.Delay != b.Delay || len(a.Attrs) != len(b.Attrs) {
+		return false
+	}
+	for i := range a.Attrs {
+		if math.Float64bits(a.Attrs[i]) != math.Float64bits(b.Attrs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMsgRoundTripSpecialFloats(t *testing.T) {
+	nanPayload := math.Float64frombits(0x7ff8_dead_beef_0001)
+	tuples := []*stream.Tuple{
+		{TS: 1000, Seq: 7, Src: 2, Delay: 33, Attrs: []float64{1.5, -0.0, math.Inf(1)}},
+		{TS: -5, Seq: 1 << 60, Src: 0, Delay: 0, Attrs: []float64{math.NaN(), nanPayload, math.Inf(-1)}},
+		{TS: 0, Seq: 0, Src: 9, Delay: -1, Attrs: nil},
+	}
+	var buf []byte
+	for i, e := range tuples {
+		kind := byte(wmProbe)
+		if i%2 == 1 {
+			kind = wmInsert
+		}
+		buf = appendMsg(buf, kind, e, stream.Time(100+i), 40+i)
+	}
+	var slab tupleSlab
+	off := 0
+	for i, want := range tuples {
+		kind, got, wm, idx, next, err := decodeMsg(buf, off, &slab)
+		if err != nil {
+			t.Fatalf("msg %d: %v", i, err)
+		}
+		wantKind := byte(wmProbe)
+		if i%2 == 1 {
+			wantKind = wmInsert
+		}
+		if kind != wantKind || wm != stream.Time(100+i) || idx != 40+i {
+			t.Fatalf("msg %d: kind=%d wm=%d idx=%d", i, kind, wm, idx)
+		}
+		if !msgEqualBits(want, got) {
+			t.Fatalf("msg %d: round-trip mismatch: %+v vs %+v", i, want, got)
+		}
+		off = next
+	}
+	if off != len(buf) {
+		t.Fatalf("decoded %d of %d bytes", off, len(buf))
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	acc := []ackEntry{{idx: 0, n: 3}, {idx: 5, n: -1}, {idx: 1 << 20, n: 1 << 40}}
+	res := []resEntry{
+		{idx: 2, r: stream.Result{TS: 77, Tuples: []*stream.Tuple{
+			{TS: 70, Seq: 1, Src: 0, Delay: 4, Attrs: []float64{math.NaN(), 2}},
+			{TS: 75, Seq: 2, Src: 1, Attrs: []float64{math.Inf(1)}},
+		}}},
+		{idx: 9, r: stream.Result{TS: -3, Tuples: nil}},
+	}
+	hdr := feedback.BarrierAck{Seq: 42, K: 1500}
+	buf := appendAckHeader(nil, hdr)
+	buf = appendAckBody(buf, acc, res)
+
+	var out decodedAck
+	if err := decodeAck(buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.hdr != hdr {
+		t.Fatalf("hdr = %+v, want %+v", out.hdr, hdr)
+	}
+	if len(out.acc) != len(acc) {
+		t.Fatalf("acc len = %d", len(out.acc))
+	}
+	for i := range acc {
+		if out.acc[i] != acc[i] {
+			t.Fatalf("acc[%d] = %+v, want %+v", i, out.acc[i], acc[i])
+		}
+	}
+	if len(out.res) != len(res) {
+		t.Fatalf("res len = %d", len(out.res))
+	}
+	for i := range res {
+		if out.resIdx[i] != res[i].idx || out.res[i].TS != res[i].r.TS ||
+			len(out.res[i].Tuples) != len(res[i].r.Tuples) {
+			t.Fatalf("res[%d] header mismatch", i)
+		}
+		for j := range res[i].r.Tuples {
+			if !msgEqualBits(res[i].r.Tuples[j], out.res[i].Tuples[j]) {
+				t.Fatalf("res[%d].Tuples[%d] mismatch", i, j)
+			}
+		}
+	}
+
+	fail := feedback.BarrierAck{Seq: 43, K: 1500, Failed: true, Err: "injected: shard 1"}
+	if err := decodeAck(appendAckHeader(nil, fail), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.hdr != fail {
+		t.Fatalf("failed hdr = %+v, want %+v", out.hdr, fail)
+	}
+}
+
+// frameBytes renders a complete frame (length prefix + type + payload).
+func frameBytes(ftype byte, payload []byte) []byte {
+	b := binary.LittleEndian.AppendUint32(nil, uint32(1+len(payload)))
+	b = append(b, ftype)
+	return append(b, payload...)
+}
+
+// FuzzWireFrame feeds arbitrary bytes through the frame reader and, for
+// every frame that parses, through the matching payload decoder. The
+// property is totality: no panics, no over-reads, and every accepted
+// tuple/ack payload re-encodes to the identical bytes.
+func FuzzWireFrame(f *testing.F) {
+	// Valid single-tuple batch, including a NaN payload and -Inf.
+	e := &stream.Tuple{TS: 500, Seq: 3, Src: 1, Delay: 20,
+		Attrs: []float64{math.Float64frombits(0x7ff8_0000_0000_0042), math.Inf(-1)}}
+	f.Add(frameBytes(ftBatch, appendMsg(nil, wmProbe, e, 480, 12)))
+	// Two messages in one frame, the second insert-kind.
+	two := appendMsg(nil, wmProbe, e, 480, 12)
+	f.Add(frameBytes(ftBatch, appendMsg(two, wmInsert, e, 0, 0)))
+	// Barrier, setK, barrier-ack (ok and failed), materialize, close.
+	f.Add(frameBytes(ftBarrier, appendBarrier(nil, feedback.BarrierMsg{Seq: 1, OutT: 900})))
+	f.Add(frameBytes(ftSetK, appendSetK(nil, feedback.KChangeMsg{Seq: 2, Ks: []stream.Time{120, 80}})))
+	ack := appendAckHeader(nil, feedback.BarrierAck{Seq: 1, K: 120})
+	ack = appendAckBody(ack, []ackEntry{{idx: 3, n: 9}},
+		[]resEntry{{idx: 3, r: stream.Result{TS: 880, Tuples: []*stream.Tuple{e}}}})
+	f.Add(frameBytes(ftBarrierAck, ack))
+	f.Add(frameBytes(ftBarrierAck, appendAckHeader(nil,
+		feedback.BarrierAck{Seq: 4, K: 120, Failed: true, Err: "boom"})))
+	f.Add(frameBytes(ftMaterialize, nil))
+	f.Add(frameBytes(ftClose, nil))
+	// Truncated frames: header only, short payload, and a cut-off tuple.
+	f.Add([]byte{40, 0, 0, 0})
+	f.Add([]byte{40, 0, 0, 0, ftBatch, wmProbe, 1})
+	full := frameBytes(ftBatch, appendMsg(nil, wmProbe, e, 480, 12))
+	f.Add(full[:len(full)-5])
+	// Oversize length prefix (must be rejected before any allocation) and
+	// a zero-length frame.
+	f.Add(binary.LittleEndian.AppendUint32(nil, maxFrame+1))
+	f.Add([]byte{0, 0, 0, 0})
+	// Lying attribute count inside an otherwise valid frame.
+	lie := frameBytes(ftBatch, appendMsg(nil, wmProbe, e, 480, 12))
+	binary.LittleEndian.PutUint16(lie[5+2:], 60000)
+	f.Add(lie)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := newFrameReader(bytes.NewReader(data))
+		var slab tupleSlab
+		var out decodedAck
+		ks := make([]stream.Time, 0, 8)
+		for {
+			ftype, payload, err := fr.next()
+			if err != nil {
+				return // any error ends the stream; the property is no panic
+			}
+			switch ftype {
+			case ftBatch:
+				off := 0
+				for off < len(payload) {
+					kind, e, wm, idx, next, err := decodeMsg(payload, off, &slab)
+					if err != nil {
+						break
+					}
+					if next <= off || next > len(payload) {
+						t.Fatalf("decodeMsg advanced %d -> %d of %d", off, next, len(payload))
+					}
+					// Accepted messages must re-encode to identical bytes.
+					re := appendMsg(nil, kind, e, wm, idx)
+					if !bytes.Equal(re, payload[off:next]) {
+						t.Fatalf("tuple message did not re-encode canonically")
+					}
+					off = next
+				}
+			case ftBarrier:
+				if m, err := decodeBarrier(payload); err == nil {
+					if !bytes.Equal(appendBarrier(nil, m), payload[:16]) {
+						t.Fatalf("barrier did not re-encode canonically")
+					}
+				}
+			case ftSetK:
+				_, ks, _ = decodeSetK(payload, ks)
+			case ftBarrierAck:
+				if err := decodeAck(payload, &out); err == nil && !out.hdr.Failed {
+					re := appendAckHeader(nil, out.hdr)
+					res := make([]resEntry, len(out.res))
+					for i := range out.res {
+						res[i] = resEntry{idx: out.resIdx[i], r: out.res[i]}
+					}
+					re = appendAckBody(re, out.acc, res)
+					if !bytes.Equal(re, payload) {
+						t.Fatalf("ack did not re-encode canonically")
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestDataPathAllocationFree gates the zero-allocation claim: warm
+// encoders appending into a capacity-sized buffer and a warm frame reader
+// must not allocate per frame. The slab-backed tuple decode amortizes to
+// one allocation per slabTuples tuples, asserted separately.
+func TestDataPathAllocationFree(t *testing.T) {
+	e := &stream.Tuple{TS: 500, Seq: 3, Src: 1, Delay: 20, Attrs: []float64{1, 2, 3}}
+	buf := make([]byte, 0, 4096)
+	if n := testing.AllocsPerRun(200, func() {
+		buf = appendMsg(buf[:0], wmProbe, e, 480, 12)
+	}); n != 0 {
+		t.Errorf("appendMsg: %v allocs/op", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		buf = appendBarrier(buf[:0], feedback.BarrierMsg{Seq: 9, OutT: 100})
+	}); n != 0 {
+		t.Errorf("appendBarrier: %v allocs/op", n)
+	}
+	ks := []stream.Time{120}
+	if n := testing.AllocsPerRun(200, func() {
+		buf = appendSetK(buf[:0], feedback.KChangeMsg{Seq: 9, Ks: ks})
+	}); n != 0 {
+		t.Errorf("appendSetK: %v allocs/op", n)
+	}
+	acc := []ackEntry{{idx: 1, n: 5}}
+	if n := testing.AllocsPerRun(200, func() {
+		buf = appendAckHeader(buf[:0], feedback.BarrierAck{Seq: 9, K: 40})
+		buf = appendAckBody(buf, acc, nil)
+	}); n != 0 {
+		t.Errorf("appendAck: %v allocs/op", n)
+	}
+
+	// Frame writer: one buffered frame assembled and "written" to a
+	// discarding sink per op.
+	fw := newFrameWriter(io.Discard)
+	fw.begin(ftBatch) // warm the buffer
+	if n := testing.AllocsPerRun(200, func() {
+		fw.begin(ftBatch)
+		fw.buf = appendMsg(fw.buf, wmProbe, e, 480, 12)
+		if err := fw.flush(); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("frameWriter: %v allocs/op", n)
+	}
+
+	// Frame reader: replay the same frame stream from a reset reader. The
+	// bufio.Reader and payload buffer are reused, so a warm reader reads
+	// each frame without allocating.
+	frame := frameBytes(ftBatch, appendMsg(nil, wmProbe, e, 480, 12))
+	stream10 := bytes.Repeat(frame, 10)
+	br := bytes.NewReader(stream10)
+	fr := newFrameReader(br)
+	if _, _, err := fr.next(); err != nil { // warm buffers
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(50, func() {
+		br.Reset(stream10)
+		fr.r.Reset(br)
+		for i := 0; i < 10; i++ {
+			if _, _, err := fr.next(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}); n != 0 {
+		t.Errorf("frameReader: %v allocs/op over 10 frames", n)
+	}
+
+	// Slab decode: 2048 tuples cost ≤ a handful of chunk allocations, far
+	// under one per tuple.
+	payload := frame[5:] // strip prefix+type: one tuple message
+	var slab tupleSlab
+	allocs := testing.AllocsPerRun(1, func() {
+		for i := 0; i < 2048; i++ {
+			if _, _, _, _, _, err := decodeMsg(payload, 0, &slab); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if allocs > 16 {
+		t.Errorf("slab decode: %v allocs per 2048 tuples", allocs)
+	}
+}

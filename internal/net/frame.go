@@ -1,0 +1,86 @@
+package net
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"io"
+)
+
+// frameReader reads length-prefixed frames from a connection. The payload
+// buffer is grow-only and reused across frames: a warm reader decodes at
+// zero allocations per frame. The returned payload aliases the internal
+// buffer and is valid until the next call.
+type frameReader struct {
+	r   *bufio.Reader
+	buf []byte
+	hdr [4]byte // scratch for the length prefix; a local would escape via io.ReadFull
+}
+
+func newFrameReader(r io.Reader) *frameReader {
+	return &frameReader{r: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// next reads one frame and returns its type byte and payload (without the
+// type byte).
+func (fr *frameReader) next() (ftype byte, payload []byte, err error) {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(fr.hdr[:])
+	if n == 0 {
+		return 0, nil, errShortFrame
+	}
+	if n > maxFrame {
+		return 0, nil, frameSizeError(n)
+	}
+	if cap(fr.buf) < int(n) {
+		fr.buf = make([]byte, n)
+	}
+	b := fr.buf[:n]
+	if _, err := io.ReadFull(fr.r, b); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	return b[0], b[1:], nil
+}
+
+// frameWriter assembles frames in a reusable buffer and writes each with a
+// single Write call. begin opens a frame (reserving the length prefix);
+// the caller appends payload bytes to fw.buf and calls flush, which
+// patches the prefix and writes. A warm writer allocates nothing.
+type frameWriter struct {
+	w   io.Writer
+	buf []byte
+}
+
+func newFrameWriter(w io.Writer) *frameWriter { return &frameWriter{w: w} }
+
+func (fw *frameWriter) begin(ftype byte) {
+	fw.buf = append(fw.buf[:0], 0, 0, 0, 0, ftype)
+}
+
+func (fw *frameWriter) flush() error {
+	binary.LittleEndian.PutUint32(fw.buf, uint32(len(fw.buf)-4))
+	_, err := fw.w.Write(fw.buf)
+	return err
+}
+
+// writeGob writes one gob-encoded control frame (handshake only — never
+// the data path).
+func writeGob(fw *frameWriter, ftype byte, v any) error {
+	var b bytes.Buffer
+	if err := gob.NewEncoder(&b).Encode(v); err != nil {
+		return err
+	}
+	fw.begin(ftype)
+	fw.buf = append(fw.buf, b.Bytes()...)
+	return fw.flush()
+}
+
+func readGob(payload []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(payload)).Decode(v)
+}

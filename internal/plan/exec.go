@@ -19,6 +19,8 @@ import (
 	"repro/internal/fault"
 	"repro/internal/feedback"
 	"repro/internal/join"
+	"repro/internal/net"
+	"repro/internal/shard"
 	"repro/internal/stats"
 	"repro/internal/stream"
 )
@@ -60,6 +62,14 @@ type ExecConfig struct {
 	// Inject optionally arms the deterministic fault injector on the built
 	// executor's workers (and, on worker-less shapes, its driver thread).
 	Inject *fault.Injector
+	// Remote runs the flat shape on networked qdhjd worker processes, one
+	// address per shard (the graph's shard count must match, or be flat
+	// with one address). The condition must be wireable — generic
+	// predicates need an expression form (WhereExpr) to cross the process
+	// boundary. Disorder handling and the feedback loop stay on the
+	// driver; BatchSize doubles as the frame batch (tuple messages per
+	// network write). Tree shapes do not support remote execution.
+	Remote []string
 }
 
 // Executor is the one interface all deployment shapes execute behind.
@@ -97,6 +107,9 @@ func Build(g *Graph, cfg ExecConfig) Executor {
 	if flatChild {
 		return buildFlat(g, cfg, shards)
 	}
+	if len(cfg.Remote) > 0 {
+		panic("plan: remote workers execute only flat shapes — tree stages own window state the driver cannot retain for checkpointing; plan a flat or sharded-flat shape")
+	}
 	return buildTree(g, cfg)
 }
 
@@ -120,7 +133,24 @@ func PolicyFactoryFor(p Policy, staticK stream.Time) (pf core.PolicyFactory, ini
 }
 
 // buildFlat maps the (possibly sharded) flat shape onto the core pipeline.
+// With Remote addresses the shard runtime is replaced by a networked
+// driver session (internal/net): same router, same merge order, workers in
+// other processes.
 func buildFlat(g *Graph, cfg ExecConfig, shards int) Executor {
+	var newRT func(shard.Config) core.Runtime
+	if len(cfg.Remote) > 0 {
+		if shards > 0 && shards != len(cfg.Remote) {
+			panic(fmt.Sprintf("plan: the graph shards %d ways but %d remote worker addresses were given — one address per shard", shards, len(cfg.Remote)))
+		}
+		if _, err := g.Cond.Wire(); err != nil {
+			panic(fmt.Sprintf("plan: cannot deploy on remote workers: %v", err))
+		}
+		sig := Signature(g, cfg)
+		addrs := append([]string(nil), cfg.Remote...)
+		newRT = func(scfg shard.Config) core.Runtime {
+			return net.NewSession(addrs, sig, scfg)
+		}
+	}
 	pf, initialK := PolicyFactoryFor(cfg.Policy, cfg.StaticK)
 	p := core.New(core.Config{
 		InitialK:   initialK,
@@ -134,6 +164,7 @@ func buildFlat(g *Graph, cfg ExecConfig, shards int) Executor {
 		Batch:      cfg.Batch,
 		Sharding:   core.Sharding{Shards: shards, BatchSize: cfg.BatchSize, QueueDepth: cfg.QueueDepth},
 		Inject:     cfg.Inject,
+		NewRuntime: newRT,
 	})
 	return (*flatExec)(p)
 }

@@ -55,3 +55,53 @@ func (r *tsRing) expire(bound stream.Time) {
 		r.head = 0
 	}
 }
+
+// tupleRing is tsRing over the tuples themselves: the router's optional
+// retention structure (Router.Retain) mirroring one stream's global window
+// membership so the networked driver can capture checkpoints without
+// pulling window state off the workers. Same ordering and expiry rules as
+// tsRing; expired slots are nilled so the ring never pins dead tuples.
+type tupleRing struct {
+	buf  []*stream.Tuple // live region buf[head:], non-decreasing TS
+	head int
+}
+
+// live returns the live region.
+func (r *tupleRing) live() []*stream.Tuple { return r.buf[r.head:] }
+
+// insert adds e, keeping timestamp order (appending after equal stamps,
+// like tsRing, so retention and replicas stay in lockstep).
+func (r *tupleRing) insert(e *stream.Tuple) {
+	if n := len(r.buf); n == r.head || r.buf[n-1].TS <= e.TS {
+		r.buf = append(r.buf, e)
+		return
+	}
+	lo, hi := r.head, len(r.buf)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.buf[mid].TS <= e.TS {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	r.buf = append(r.buf, nil)
+	copy(r.buf[lo+1:], r.buf[lo:])
+	r.buf[lo] = e
+}
+
+// expire drops every tuple with TS strictly older than bound.
+func (r *tupleRing) expire(bound stream.Time) {
+	h := r.head
+	for h < len(r.buf) && r.buf[h].TS < bound {
+		r.buf[h] = nil
+		h++
+	}
+	r.head = h
+	if r.head >= 64 && r.head >= len(r.buf)-r.head {
+		n := copy(r.buf, r.buf[r.head:])
+		clear(r.buf[n:])
+		r.buf = r.buf[:n]
+		r.head = 0
+	}
+}

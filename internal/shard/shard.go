@@ -41,7 +41,6 @@ import (
 	"sync"
 
 	"repro/internal/fault"
-	"repro/internal/index"
 	"repro/internal/join"
 	"repro/internal/stream"
 )
@@ -112,20 +111,10 @@ type worker struct {
 
 // Runtime runs one logical join as cfg.N shards.
 type Runtime struct {
-	cfg    Config
-	scheme join.PartitionScheme
-	n      int
-	cell   float64 // band mode: range-cell width (≥ 2·Delta)
-
-	wm       stream.Time
-	started  bool
+	cfg      Config
+	router   *Router
+	n        int
 	finished bool
-	reps     []tsRing
-
-	// Per-interval router-side accounting, indexed by arrival idx.
-	delays  []stream.Time
-	crosses []int64
-	resTS   []stream.Time
 
 	workers []*worker
 	pend    [][]msg
@@ -135,19 +124,12 @@ type Runtime struct {
 	failMu  sync.Mutex
 	failure error // first recovered worker panic, surfaced at the next quiesce
 
-	targets []int // scratch: shard set of the tuple being routed
-	ptr     []int // scratch: per-shard result cursor during merge
+	ptr []int // scratch: per-shard result cursor during merge
 }
 
 // New builds the runtime and starts its shard goroutines. The partition
-// scheme is compiled from cfg.Cond via the planner.
+// scheme is compiled from cfg.Cond via the planner (NewRouter).
 func New(cfg Config) *Runtime {
-	if cfg.N < 1 {
-		panic("shard: need at least one shard")
-	}
-	if len(cfg.Windows) != cfg.Cond.M {
-		panic("shard: window count must match condition arity")
-	}
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 128
 	}
@@ -155,19 +137,11 @@ func New(cfg Config) *Runtime {
 		cfg.QueueDepth = 64
 	}
 	rt := &Runtime{
-		cfg:     cfg,
-		scheme:  cfg.Cond.Partition(),
-		n:       cfg.N,
-		reps:    make([]tsRing, cfg.Cond.M),
-		pend:    make([][]msg, cfg.N),
-		targets: make([]int, 0, cfg.N),
-		ptr:     make([]int, cfg.N),
-	}
-	if rt.scheme.Mode == join.PartitionBand {
-		// A cell at least 2·Delta wide keeps the ±Delta replication span
-		// inside at most two cells, so every tuple lands in ≤ 2 shards. 4×
-		// halves the fraction of boundary tuples that need the second copy.
-		rt.cell = 4 * rt.scheme.Delta
+		cfg:    cfg,
+		router: NewRouter(cfg.N, cfg.Cond, cfg.Windows, cfg.OnOutOfOrder),
+		n:      cfg.N,
+		pend:   make([][]msg, cfg.N),
+		ptr:    make([]int, cfg.N),
 	}
 	rt.pool.New = func() any { return make([]msg, 0, cfg.BatchSize) }
 	rt.workers = make([]*worker, cfg.N)
@@ -192,18 +166,18 @@ func New(cfg Config) *Runtime {
 }
 
 // Scheme returns the compiled partition scheme.
-func (rt *Runtime) Scheme() join.PartitionScheme { return rt.scheme }
+func (rt *Runtime) Scheme() join.PartitionScheme { return rt.router.Scheme() }
 
 // Watermark returns the global synchronized-stream watermark onT, the
 // sharded equivalent of Operator.HighWatermark.
-func (rt *Runtime) Watermark() stream.Time { return rt.wm }
+func (rt *Runtime) Watermark() stream.Time { return rt.router.Watermark() }
 
 // EnableMaterialize installs result buffers on every shard operator so
 // FlushInterval can deliver materialized results. Installing a sink after
 // tuples have been routed would silently lose the results already counted
 // on the fast path, so it panics once the run has started.
 func (rt *Runtime) EnableMaterialize() {
-	if rt.started {
+	if rt.router.Started() {
 		panic("shard: cannot install a results sink after the sharded run has started — results produced so far were count-only; install the sink before the first Push")
 	}
 	if rt.cfg.Materialize {
@@ -234,129 +208,24 @@ func (rt *Runtime) Route(e *stream.Tuple) {
 	if rt.finished {
 		panic("shard: Route on a finished runtime — a sharded run cannot be restarted; build a new pipeline")
 	}
-	rt.started = true
-	prev := rt.wm
-	wm := prev
-	if e.TS > wm {
-		wm = e.TS
-	}
-	rt.wm = wm
-	src := e.Src
-	if e.TS >= prev {
-		// Globally in-order: replicate the operator's expire-and-count on
-		// the timestamp replicas, record the interval accounting, route.
-		idx := len(rt.delays)
-		var nCross int64 = 1
-		for j := range rt.reps {
-			if j == src {
-				continue
-			}
-			rt.reps[j].expire(e.TS - rt.cfg.Windows[j])
-			nCross *= int64(rt.reps[j].len())
-		}
-		rt.delays = append(rt.delays, e.Delay)
-		rt.crosses = append(rt.crosses, nCross)
-		rt.resTS = append(rt.resTS, e.TS)
-		rt.reps[src].insert(e.TS)
-		probeAll, owner := rt.route(e)
-		if probeAll {
-			for s := 0; s < rt.n; s++ {
-				rt.send(s, msg{e: e, wm: wm, idx: idx, kind: msgProbe})
-			}
-			return
-		}
-		rt.send(owner, msg{e: e, wm: wm, idx: idx, kind: msgProbe})
-		for _, s := range rt.targets {
-			if s != owner {
-				rt.send(s, msg{e: e, wm: wm, kind: msgInsert})
-			}
-		}
-		return
-	}
-	// Globally out-of-order: no probing anywhere (lines 9–10 of Alg. 2).
-	if rt.cfg.OnOutOfOrder != nil {
-		rt.cfg.OnOutOfOrder(e.Delay)
-	}
-	if e.TS < wm-rt.cfg.Windows[src] {
+	d := rt.router.Observe(e)
+	if d.Drop {
 		return // out of scope everywhere; the shards would drop it too
 	}
-	rt.reps[src].insert(e.TS)
-	probeAll, owner := rt.route(e)
-	if probeAll {
+	kind := uint8(msgInsert)
+	if d.Probe {
+		kind = msgProbe
+	}
+	if d.All {
 		for s := 0; s < rt.n; s++ {
-			rt.send(s, msg{e: e, wm: wm, kind: msgInsert})
+			rt.send(s, msg{e: e, wm: d.WM, idx: d.Idx, kind: kind})
 		}
 		return
 	}
-	rt.send(owner, msg{e: e, wm: wm, kind: msgInsert})
-	for _, s := range rt.targets {
-		if s != owner {
-			rt.send(s, msg{e: e, wm: wm, kind: msgInsert})
-		}
+	rt.send(d.Owner, msg{e: e, wm: d.WM, idx: d.Idx, kind: kind})
+	for _, s := range d.Replicas {
+		rt.send(s, msg{e: e, wm: d.WM, kind: msgInsert})
 	}
-}
-
-// route computes the shard set of e: either "every shard probes"
-// (broadcast streams), or an owner shard plus — in band mode — replica
-// targets left in rt.targets. rt.targets is only valid until the next
-// call.
-func (rt *Runtime) route(e *stream.Tuple) (probeAll bool, owner int) {
-	rt.targets = rt.targets[:0]
-	switch rt.scheme.Mode {
-	case join.PartitionBand:
-		key := e.Attr(rt.scheme.KeyAttr[e.Src])
-		owner = rt.bandShard(key)
-		d := rt.scheme.Delta
-		lo, hi := rt.bandCell(key-d), rt.bandCell(key+d)
-		for c := lo; c <= hi; c++ {
-			if s := rt.cellShard(c); s != owner && !contains(rt.targets, s) {
-				rt.targets = append(rt.targets, s)
-			}
-		}
-		return false, owner
-	default: // PartitionEqui, PartitionNone
-		a := -1
-		if rt.scheme.Covered(e.Src) {
-			a = rt.scheme.KeyAttr[e.Src]
-		}
-		switch {
-		case a >= 0:
-			bits, ok := index.KeyBits(e.Attr(a))
-			if !ok {
-				bits = 0 // NaN key: can never match, any shard will do
-			}
-			return false, rt.hashShard(bits)
-		case rt.scheme.Mode == join.PartitionNone && e.Src == 0:
-			return false, rt.hashShard(e.Seq)
-		default:
-			return true, 0
-		}
-	}
-}
-
-// hashShard maps canonical key bits (or a sequence number) to a shard via
-// the shared index.Mix64 finalizer (see there for why a full avalanche is
-// required before the modulo).
-func (rt *Runtime) hashShard(bits uint64) int {
-	return int(index.Mix64(bits) % uint64(rt.n))
-}
-
-// bandCell quantizes a band key to its range cell; the saturating clamp
-// (see index.RangeCell) is what keeps one tuple's replication span
-// enclosing the owner cell of every band partner.
-func (rt *Runtime) bandCell(key float64) int64 { return index.RangeCell(key, rt.cell) }
-
-func (rt *Runtime) bandShard(key float64) int { return rt.cellShard(rt.bandCell(key)) }
-
-func (rt *Runtime) cellShard(cell int64) int { return index.CellOwner(cell, rt.n) }
-
-func contains(s []int, v int) bool {
-	for _, x := range s {
-		if x == v {
-			return true
-		}
-	}
-	return false
 }
 
 // send appends m to shard s's pending batch, flushing a full batch to the
@@ -410,7 +279,7 @@ func (rt *Runtime) FlushInterval(
 	for s := range rt.ptr {
 		rt.ptr[s] = 0
 	}
-	for i := range rt.delays {
+	for i := 0; i < rt.router.Arrivals(); i++ {
 		var tot int64
 		for s, w := range rt.workers {
 			if i < len(w.onAcc) {
@@ -424,12 +293,11 @@ func (rt *Runtime) FlushInterval(
 			}
 		}
 		if visit != nil {
-			visit(rt.resTS[i], rt.delays[i], rt.crosses[i], tot)
+			ts, delay, nCross := rt.router.Arrival(i)
+			visit(ts, delay, nCross, tot)
 		}
 	}
-	rt.delays = rt.delays[:0]
-	rt.crosses = rt.crosses[:0]
-	rt.resTS = rt.resTS[:0]
+	rt.router.ResetInterval()
 	for _, w := range rt.workers {
 		w.onAcc = w.onAcc[:0]
 		clear(w.res)

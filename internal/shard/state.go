@@ -28,12 +28,8 @@ type State struct {
 // workers are quiesced (the barrier's happens-before edge makes their
 // operator state readable here) and the interval accumulators are empty.
 func (rt *Runtime) State(tt *fault.TupleTable) State {
-	st := State{WM: rt.wm, Started: rt.started}
-	st.Reps = make([][]stream.Time, len(rt.reps))
-	for i := range rt.reps {
-		r := &rt.reps[i]
-		st.Reps[i] = append([]stream.Time(nil), r.buf[r.head:]...)
-	}
+	var st State
+	st.WM, st.Started, st.Reps = rt.router.Snapshot()
 	st.Windows = make([][]int32, rt.cfg.Cond.M)
 	seen := map[*stream.Tuple]bool{}
 	for i := range st.Windows {
@@ -63,26 +59,21 @@ func (rt *Runtime) State(tt *fault.TupleTable) State {
 // future probe (DESIGN.md §10). Router accounting (OnOutOfOrder, interval
 // slices) is bypassed: these inserts are reconstruction, not arrivals.
 func (rt *Runtime) Restore(st State, ta *fault.TupleArena) {
-	rt.wm = st.WM
-	rt.started = st.Started
-	for i := range rt.reps {
-		rt.reps[i] = tsRing{buf: append([]stream.Time(nil), st.Reps[i]...)}
-	}
+	rt.router.RestoreSpine(st.WM, st.Started, st.Reps)
+	wm := st.WM
 	for _, ids := range st.Windows {
 		for _, id := range ids {
 			e := ta.Tuple(id)
-			probeAll, owner := rt.route(e)
+			probeAll, owner, replicas := rt.router.RouteOnly(e)
 			if probeAll {
 				for s := 0; s < rt.n; s++ {
-					rt.send(s, msg{e: e, wm: rt.wm, kind: msgInsert})
+					rt.send(s, msg{e: e, wm: wm, kind: msgInsert})
 				}
 				continue
 			}
-			rt.send(owner, msg{e: e, wm: rt.wm, kind: msgInsert})
-			for _, s := range rt.targets {
-				if s != owner {
-					rt.send(s, msg{e: e, wm: rt.wm, kind: msgInsert})
-				}
+			rt.send(owner, msg{e: e, wm: wm, kind: msgInsert})
+			for _, s := range replicas {
+				rt.send(s, msg{e: e, wm: wm, kind: msgInsert})
 			}
 		}
 	}

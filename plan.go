@@ -111,6 +111,11 @@ func WithAutoPlan() JoinOption {
 
 // graphFor resolves the deployment graph of one NewJoin call.
 func (o *joinOpts) graphFor(cond *Condition, windows []Time) *plan.Graph {
+	if len(o.remote) > 0 && o.shards == 0 && o.plan == nil && !o.autoPlan {
+		// One worker address per shard: remote workers imply the sharded
+		// flat shape at the address count.
+		o.shards = len(o.remote)
+	}
 	switch {
 	case o.plan != nil:
 		g := o.plan.g

@@ -137,6 +137,8 @@ type joinOpts struct {
 	onAdapt    func(AdaptEvent)
 	shards     int
 	batch      int
+	remote     []string
+	frameBatch int
 	plan       *Plan
 	autoPlan   bool
 	supervised bool
@@ -200,6 +202,42 @@ func WithBatchSize(n int) JoinOption {
 	return func(o *joinOpts) { o.batch = n }
 }
 
+// WithRemoteWorkers runs the join's partition workers as external qdhjd
+// processes, one worker per address, connected over TCP. It is the
+// networked form of WithShards: the partition routing, disorder handling
+// (K-slack, Synchronizer) and the quality-driven feedback loop stay in
+// this process, and only the per-shard join operators move out — so
+// results, result counts and the K trajectory are bit-for-bit those of
+// the in-process run, for any worker count and any frame batch size.
+//
+// Start workers with `qdhjd -listen addr` (cmd/qdhjd) before the first
+// Push; the session dials lazily. The join condition must be expressible
+// on the wire: equi, band, and WhereExpr predicates deploy; opaque Where
+// closures cannot cross a process boundary and panic at construction.
+// Combine with WithSupervision to survive worker loss: a failed worker
+// surfaces as the same typed error an in-process shard crash does, and
+// the supervisor restores the deployment — including freshly restarted
+// workers — from its checkpoint. See WithFrameBatch for the transport
+// batching knob.
+func WithRemoteWorkers(addrs ...string) JoinOption {
+	if len(addrs) == 0 {
+		panic("qdhj: WithRemoteWorkers needs at least one worker address")
+	}
+	return func(o *joinOpts) { o.remote = append([]string(nil), addrs...) }
+}
+
+// WithFrameBatch sets how many tuple messages share one network frame (and
+// one write syscall) on remote deployments: larger batches amortize
+// framing and syscall cost — throughput scales several-fold between
+// per-tuple framing (1) and 64–256 — while batch cuts remain a pure
+// function of the input, so results are identical at every setting.
+// Default 128. On in-process sharded deployments the same value tunes the
+// inter-thread hand-off batch. n ≤ 0 selects the default; n = 1 means
+// per-tuple framing.
+func WithFrameBatch(n int) JoinOption {
+	return func(o *joinOpts) { o.frameBatch = n }
+}
+
 // Join is an m-way sliding window join with quality-driven disorder
 // handling. It is not safe for concurrent use; feed it from one goroutine or
 // use RunChannel.
@@ -247,6 +285,8 @@ func execConfig(opt Options, jo *joinOpts) plan.ExecConfig {
 		EmitCounts: jo.counts,
 		OnAdapt:    jo.onAdapt,
 		Batch:      jo.batch,
+		Remote:     jo.remote,
+		BatchSize:  jo.frameBatch,
 	}
 	switch opt.Policy {
 	case MaxSlack:
